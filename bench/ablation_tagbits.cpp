@@ -1,0 +1,64 @@
+#include <cstdio>
+
+#include "core/tag_scheme.hpp"
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "ucx/context.hpp"
+#include "charm/charm.hpp"
+
+/// Ablation: the MSG/PE/CNT tag bit split (paper Fig. 3). The default
+/// 4/32/28 split supports 2^32 PEs with a 2^28 outstanding-message horizon
+/// per PE; "this division can be modified by the user to allocate more bits
+/// to one side or the other to accommodate different scaling
+/// configurations". This bench shows the capacity trade-off and demonstrates
+/// that transfers remain correct under every split, including rapid counter
+/// wrap-around with a tiny CNT field.
+
+using namespace cux;
+
+namespace {
+
+/// Runs many sequential device transfers under the given scheme and checks
+/// that wrap-around never mismatches a tag.
+bool stressScheme(const core::TagScheme& tags, int transfers) {
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  ck::Runtime rt(sys, ctx, m, tags);
+  cuda::DeviceBuffer a(sys, 0, 64), b(sys, 1, 64);
+  int completed = 0;
+  for (int i = 0; i < transfers; ++i) {
+    core::CmiDeviceBuffer buf{a.get(), 64, 0};
+    rt.startOn(0, [&, i] {
+      rt.dev().lrtsSendDevice(0, 1, buf);
+      rt.cmi().runOn(1, [&] {
+        rt.dev().lrtsRecvDevice(1, core::DeviceRdmaOp{b.get(), 64, buf.tag},
+                                core::DeviceRecvType::Raw, [&] { ++completed; });
+      });
+    });
+    sys.engine.run();
+  }
+  return completed == transfers;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: tag bit split MSG/PE/CNT (paper Fig. 3)\n\n");
+  std::printf("%-12s %20s %22s %10s\n", "split", "max PEs", "counter horizon", "correct");
+  const core::TagScheme schemes[] = {
+      {4, 16, 44}, {4, 24, 36}, {4, 32, 28},  // default
+      {4, 40, 20}, {4, 48, 12}, {4, 56, 4},   // extreme: 16-deep counter
+  };
+  for (const auto& t : schemes) {
+    const bool ok = stressScheme(t, 64);  // 64 transfers wraps the 4-bit counter 4x
+    std::printf("%2u/%2u/%-6u %20llu %22llu %10s\n", t.msg_bits, t.pe_bits, t.cnt_bits,
+                static_cast<unsigned long long>(t.maxPe()) + 1,
+                static_cast<unsigned long long>(t.cntModulus()), ok ? "yes" : "NO");
+  }
+  std::printf("\nMore PE bits raise the addressable PE count; more CNT bits raise how\n"
+              "many transfers per PE can be outstanding before tags could collide.\n"
+              "Sequential traffic stays correct even under wrap-around; dense\n"
+              "concurrent traffic bounds the safe window by 2^CNT_BITS.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "osu_figures.hpp"
+
+/// Reproduces Figure 10 of the paper: Intra-node latency, host-staging vs GPU-aware.
+int main() {
+  using namespace cux;
+  bench::printFigure("Figure 10", "Intra-node latency, host-staging vs GPU-aware", bench::Metric::Latency,
+                     osu::Placement::IntraNode);
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "osu_figures.hpp"
+
+/// Reproduces Figure 11 of the paper: Inter-node latency, host-staging vs GPU-aware.
+int main() {
+  using namespace cux;
+  bench::printFigure("Figure 11", "Inter-node latency, host-staging vs GPU-aware", bench::Metric::Latency,
+                     osu::Placement::InterNode);
+  return 0;
+}

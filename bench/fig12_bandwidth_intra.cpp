@@ -1,0 +1,9 @@
+#include "osu_figures.hpp"
+
+/// Reproduces Figure 12 of the paper: Intra-node bandwidth, host-staging vs GPU-aware.
+int main() {
+  using namespace cux;
+  bench::printFigure("Figure 12", "Intra-node bandwidth, host-staging vs GPU-aware", bench::Metric::Bandwidth,
+                     osu::Placement::IntraNode);
+  return 0;
+}

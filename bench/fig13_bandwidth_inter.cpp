@@ -1,0 +1,9 @@
+#include "osu_figures.hpp"
+
+/// Reproduces Figure 13 of the paper: Inter-node bandwidth, host-staging vs GPU-aware.
+int main() {
+  using namespace cux;
+  bench::printFigure("Figure 13", "Inter-node bandwidth, host-staging vs GPU-aware", bench::Metric::Bandwidth,
+                     osu::Placement::InterNode);
+  return 0;
+}

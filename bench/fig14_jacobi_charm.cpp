@@ -1,0 +1,8 @@
+#include "jacobi_figures.hpp"
+
+/// Reproduces Figure 14 of the paper: Charm++ Jacobi3D weak and strong
+/// scaling, host-staging vs GPU-aware halo exchange.
+int main() {
+  cux::bench::printJacobiFigure("Figure 14", cux::jacobi::Stack::Charm);
+  return 0;
+}

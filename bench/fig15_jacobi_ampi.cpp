@@ -1,0 +1,8 @@
+#include "jacobi_figures.hpp"
+
+/// Reproduces Figure 15 of the paper: AMPI Jacobi3D weak and strong scaling
+/// with the OpenMPI reference, host-staging vs GPU-aware halo exchange.
+int main() {
+  cux::bench::printJacobiFigure("Figure 15", cux::jacobi::Stack::Ampi);
+  return 0;
+}

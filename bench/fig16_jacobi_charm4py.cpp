@@ -1,0 +1,8 @@
+#include "jacobi_figures.hpp"
+
+/// Reproduces Figure 16 of the paper: Charm4py Jacobi3D weak and strong
+/// scaling, host-staging vs GPU-aware halo exchange.
+int main() {
+  cux::bench::printJacobiFigure("Figure 16", cux::jacobi::Stack::Charm4py);
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include <benchmark/benchmark.h>
+
+#include "core/tag_scheme.hpp"
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "ucx/context.hpp"
+
+/// Real-time (wall-clock) performance of the simulator's hot paths with
+/// google-benchmark: event-queue throughput, tag matching, memory
+/// classification, and end-to-end simulated messages per second. These are
+/// the costs a user of this library actually pays to run the figure benches.
+
+using namespace cux;
+
+namespace {
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::SplitMix64 rng(7);
+    for (int i = 0; i < n; ++i) {
+      e.schedule(rng.below(1'000'000), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_TagSchemeMakeDecode(benchmark::State& state) {
+  core::TagScheme t;
+  sim::SplitMix64 rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const auto tag = t.make(core::MsgType::Device, rng.below(1u << 20), rng.below(1u << 20));
+    acc += t.peOf(tag) + t.cntOf(tag) + static_cast<std::uint64_t>(t.typeOf(tag));
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagSchemeMakeDecode);
+
+void BM_MemoryClassification(benchmark::State& state) {
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 256; ++i) {
+    ptrs.push_back(cuda::deviceAlloc(sys, i % 6, 4096, false));
+  }
+  sim::SplitMix64 rng(3);
+  int hits = 0;
+  for (auto _ : state) {
+    hits += sys.memory.isDevice(ptrs[rng.below(ptrs.size())]) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  for (void* p : ptrs) cuda::deviceFree(sys, p);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryClassification);
+
+void BM_UcxTagMatching(benchmark::State& state) {
+  // Posts N receives, delivers N matching messages; measures matcher cost.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    model::Model m = model::summit(1);
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    std::vector<std::byte> buf(64);
+    for (int i = 0; i < n; ++i) {
+      ctx.worker(1).tagRecv(buf.data(), 64, static_cast<ucx::Tag>(i), ucx::kFullMask, {});
+    }
+    std::vector<std::byte> src(64);
+    for (int i = n - 1; i >= 0; --i) {  // worst case: match at the queue tail
+      ctx.tagSend(0, 1, src.data(), 64, static_cast<ucx::Tag>(i), {});
+    }
+    sys.engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UcxTagMatching)->Arg(64)->Arg(512);
+
+void BM_SimulatedMessagesPerSecond(benchmark::State& state) {
+  // End-to-end: how many simulated eager messages the whole stack retires
+  // per wall-clock second.
+  for (auto _ : state) {
+    model::Model m = model::summit(2);
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    std::vector<std::byte> src(256), dst(256);
+    constexpr int kMsgs = 1000;
+    int done = 0;
+    for (int i = 0; i < kMsgs; ++i) {
+      ctx.worker(6).tagRecv(dst.data(), 256, static_cast<ucx::Tag>(i), ucx::kFullMask,
+                            [&done](ucx::Request&) { ++done; });
+      ctx.tagSend(0, 6, src.data(), 256, static_cast<ucx::Tag>(i), {});
+    }
+    sys.engine.run();
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(kMsgs);
+  }
+}
+BENCHMARK(BM_SimulatedMessagesPerSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/// CUDA-aware MPI ping-pong on AMPI and the OpenMPI baseline.
+///
+/// GPU buffers are passed directly to MPI send/recv, "like any CUDA-aware
+/// MPI implementation" (paper Sec. III-C). The example prints a small
+/// latency table comparing AMPI against OpenMPI for intra- and inter-node
+/// pairs — the layering overhead the paper quantifies as ~8 us.
+///
+/// Build & run:  ./build/examples/ampi_pingpong
+
+#include <cstdio>
+#include <memory>
+
+#include "ampi/ampi.hpp"
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "ompi/ompi.hpp"
+#include "ucx/context.hpp"
+
+using namespace cux;
+
+namespace {
+
+struct PingEnv {
+  std::size_t bytes = 0;
+  int peer = 0;
+  void* buf0 = nullptr;
+  void* buf1 = nullptr;
+  int iters = 20;
+  double one_way_us = 0;
+};
+
+template <class RankT>
+sim::FutureTask pingpong(RankT* r, PingEnv* env) {
+  if (r->rank() == 0) {
+    const double t0 = r->timeUs();
+    for (int i = 0; i < env->iters; ++i) {
+      co_await r->send(env->buf0, env->bytes, env->peer, 0);
+      co_await r->recv(env->buf0, env->bytes, env->peer, 1);
+    }
+    env->one_way_us = (r->timeUs() - t0) / (2.0 * env->iters);
+  } else if (r->rank() == env->peer) {
+    for (int i = 0; i < env->iters; ++i) {
+      co_await r->recv(env->buf1, env->bytes, 0, 0);
+      co_await r->send(env->buf1, env->bytes, 0, 1);
+    }
+  }
+}
+
+double measure(bool use_ampi, int peer, std::size_t bytes) {
+  model::Model m = model::summit(2);
+  m.machine.backed_device_memory = false;
+  hw::System sys(m.machine);
+  ucx::Context ucx(sys, m.ucx);
+  cuda::DeviceBuffer b0(sys, 0, bytes), b1(sys, peer, bytes);
+
+  PingEnv env;
+  env.bytes = bytes;
+  env.peer = peer;
+  env.buf0 = b0.get();
+  env.buf1 = b1.get();
+
+  if (use_ampi) {
+    ck::Runtime rt(sys, ucx, m);
+    ampi::World world(rt);
+    world.run([&env](ampi::Rank& r) -> sim::FutureTask { return pingpong(&r, &env); });
+    sys.engine.run();
+  } else {
+    ompi::World world(sys, ucx, m.costs);
+    world.run([&env](ompi::Rank& r) -> sim::FutureTask { return pingpong(&r, &env); });
+    sys.engine.run();
+  }
+  return env.one_way_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GPU-to-GPU one-way latency (us), device buffers passed straight to MPI\n\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "size", "AMPI intra", "OMPI intra", "AMPI inter",
+              "OMPI inter");
+  for (std::size_t bytes : {8u, 1024u, 65536u, 1u << 20, 4u << 20}) {
+    std::printf("%-10zu %12.2f %12.2f %12.2f %12.2f\n", bytes, measure(true, 1, bytes),
+                measure(false, 1, bytes), measure(true, 6, bytes), measure(false, 6, bytes));
+  }
+  std::printf("\nAMPI trails OpenMPI by its runtime layering overhead (~8 us in the paper);\n"
+              "both converge at large sizes where the wire dominates.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Jacobi3D proxy application across all four programming models.
+///
+/// Runs a small, fully verified 3D Jacobi solve (results checked against a
+/// serial CPU reference), then a paper-scale timing run (1536^3 doubles on
+/// one simulated Summit node) comparing host-staging and GPU-aware halo
+/// exchange for Charm++, AMPI, OpenMPI and Charm4py — the single-node column
+/// of the paper's Figs. 14-16.
+///
+/// Build & run:  ./build/examples/jacobi3d
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/jacobi/jacobi.hpp"
+
+using namespace cux;
+using namespace cux::jacobi;
+
+int main() {
+  // --- correctness: distributed result == serial reference -----------------
+  const Vec3 small{24, 18, 12};
+  const auto ref = referenceJacobi(small, 4);
+  std::printf("verifying a %lldx%lldx%lld solve (4 iterations, 6 blocks) on every stack:\n",
+              static_cast<long long>(small.x), static_cast<long long>(small.y),
+              static_cast<long long>(small.z));
+  bool all_ok = true;
+  for (Stack s : {Stack::Charm, Stack::Ampi, Stack::Ompi, Stack::Charm4py}) {
+    for (Mode m : {Mode::Device, Mode::HostStaging}) {
+      JacobiConfig cfg;
+      cfg.stack = s;
+      cfg.mode = m;
+      cfg.nodes = 1;
+      cfg.grid = small;
+      cfg.iters = 4;
+      cfg.warmup = 0;
+      cfg.backed = true;
+      const auto got = runJacobiVerified(cfg);
+      double err = 0;
+      for (std::size_t i = 0; i < ref.size(); ++i) err = std::max(err, std::fabs(got[i] - ref[i]));
+      std::printf("  %-9s %-2s max |err| = %g\n", osu::name(static_cast<osu::Stack>(s)),
+                  m == Mode::Device ? "-D" : "-H", err);
+      all_ok = all_ok && err == 0.0;
+    }
+  }
+
+  // --- paper-scale timing (one Summit node, 1536^3 doubles) ----------------
+  std::printf("\n1536^3 doubles on one simulated Summit node (6 V100s), ms per iteration:\n");
+  std::printf("  %-9s %10s %10s %10s %10s %8s\n", "model", "overall-H", "overall-D", "comm-H",
+              "comm-D", "comm x");
+  for (Stack s : {Stack::Charm, Stack::Ampi, Stack::Ompi, Stack::Charm4py}) {
+    JacobiConfig cfg;
+    cfg.stack = s;
+    cfg.nodes = 1;
+    cfg.grid = kWeakBase;
+    cfg.iters = 5;
+    cfg.warmup = 1;
+    cfg.backed = false;  // timing-only: no terabytes needed
+    cfg.mode = Mode::HostStaging;
+    const auto h = runJacobi(cfg);
+    cfg.mode = Mode::Device;
+    const auto d = runJacobi(cfg);
+    std::printf("  %-9s %10.2f %10.2f %10.2f %10.2f %7.1fx\n",
+                osu::name(static_cast<osu::Stack>(s)), h.overall_ms_per_iter,
+                d.overall_ms_per_iter, h.comm_ms_per_iter, d.comm_ms_per_iter,
+                h.comm_ms_per_iter / d.comm_ms_per_iter);
+  }
+  std::printf("\nGPU-aware halo exchange removes the host round trip; the communication\n"
+              "speedup is largest within a node, as in the paper's Figs. 14-16.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+/// Jacobi with convergence checking — the piece the paper's proxy app leaves
+/// out ("configured to run for a set number of iterations without
+/// convergence checks") and the reason the paper's future work wants GPU
+/// collectives: a real solver needs a global residual reduction each sweep.
+///
+/// This example runs a small, fully verified AMPI Jacobi where every rank
+/// computes its local residual on the (simulated) GPU and the ranks combine
+/// it with the GPU-aware allreduce from src/coll — iterating until the
+/// residual falls under a tolerance.
+///
+/// Build & run:  ./build/examples/jacobi_residual
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "ampi/ampi.hpp"
+#include "apps/jacobi/block.hpp"
+#include "coll/coll.hpp"
+#include "ucx/context.hpp"
+
+using namespace cux;
+using namespace cux::jacobi;
+
+namespace {
+
+constexpr Vec3 kGrid{12, 12, 12};
+constexpr double kTol = 1e-3;
+constexpr int kMaxIters = 400;
+
+struct Env {
+  Decomposition dec;
+  std::vector<std::unique_ptr<BlockState>> blocks;
+  int iterations_used = 0;
+  double final_residual = 0;
+};
+
+/// One rank: halo exchange + stencil + residual allreduce per iteration.
+sim::FutureTask solver(ampi::Rank* r, Env* env) {
+  BlockState& b = *env->blocks[static_cast<std::size_t>(r->rank())];
+  double residual = 1e30;
+  int it = 0;
+  for (; it < kMaxIters && residual > kTol; ++it) {
+    // Pack + exchange halos (GPU-aware: device pointers straight into MPI).
+    b.stream->launch(b.packCost(), b.packBody());
+    co_await b.stream->synchronize();
+    std::vector<ampi::Request> reqs;
+    for (int d = 0; d < kNumDirs; ++d) {
+      const int peer = b.nbr[static_cast<std::size_t>(d)];
+      if (peer < 0) continue;
+      const auto dir = static_cast<Dir>(d);
+      reqs.push_back(r->irecv(b.recvBuf(dir), env->dec.faceBytes(dir), peer, d));
+      reqs.push_back(r->isend(b.sendBuf(dir), env->dec.faceBytes(dir), peer,
+                              static_cast<int>(opposite(dir))));
+    }
+    co_await r->waitAll(reqs);
+
+    // Unpack + stencil; the residual kernel accumulates sum((new-old)^2).
+    b.stream->launch(b.unpackCost(), b.unpackBody(0));
+    double local_sq = 0;
+    const int before = b.cur;
+    b.stream->launch(b.stencilCost(), b.stencilBody());
+    b.stream->launch(b.stencilCost() / 4, [&b, &local_sq, before] {
+      const auto* oldg = static_cast<const double*>(b.grid[before]);
+      const auto* newg = static_cast<const double*>(b.grid[b.cur]);
+      const std::int64_t sx = b.dec.block.x + 2, sy = b.dec.block.y + 2;
+      for (std::int64_t k = 1; k <= b.dec.block.z; ++k) {
+        for (std::int64_t j = 1; j <= b.dec.block.y; ++j) {
+          for (std::int64_t i = 1; i <= b.dec.block.x; ++i) {
+            const auto c = static_cast<std::size_t>(i + sx * (j + sy * k));
+            const double d = newg[c] - oldg[c];
+            local_sq += d * d;
+          }
+        }
+      }
+    });
+    co_await b.stream->synchronize();
+
+    // Global residual: GPU-aware allreduce translated to point-to-point.
+    double global_sq = 0;
+    co_await coll::allreduce(*r, &local_sq, &global_sq, 1, coll::Op::Sum);
+    residual = std::sqrt(global_sq);
+  }
+  if (r->rank() == 0) {
+    env->iterations_used = it;
+    env->final_residual = residual;
+  }
+}
+
+}  // namespace
+
+int main() {
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  ck::Runtime rt(sys, ctx, m);
+  ampi::World world(rt);
+
+  Env env;
+  env.dec = decompose(kGrid, world.size());
+  JacobiConfig cfg;
+  cfg.grid = kGrid;
+  cfg.backed = true;  // real data: the residual is a real number
+  cfg.model = m;
+  for (int p = 0; p < world.size(); ++p) {
+    auto b = std::make_unique<BlockState>();
+    b->init(sys, cfg, env.dec, p, p);
+    env.blocks.push_back(std::move(b));
+  }
+
+  world.run([&env](ampi::Rank& r) -> sim::FutureTask { return solver(&r, &env); });
+  sys.engine.run();
+
+  std::printf("Jacobi on a %lld^3 grid over %d simulated GPUs:\n",
+              static_cast<long long>(kGrid.x), world.size());
+  std::printf("  converged to residual %.2e after %d iterations\n", env.final_residual,
+              env.iterations_used);
+  std::printf("  virtual time: %.2f ms\n", sim::toMs(sys.engine.now()));
+  const bool ok = env.final_residual <= kTol && env.iterations_used > 1;
+  std::printf("  %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,509 @@
+#include "ampi/ampi.hpp"
+
+#include "coll/coll.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cux::ampi {
+
+namespace {
+/// Internal tag space for collectives; user tags must stay below this.
+constexpr int kInternalTagBase = 1 << 30;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RankChare: the chare backing one AMPI rank. Its entry methods receive AMPI
+// metadata/inline messages and feed the matching engine.
+// ---------------------------------------------------------------------------
+
+struct World::RankChare : ck::Chare {
+  RankChare(World* w, int r) : world(w), rank(r) {}
+
+  void recvMeta(std::uint32_t src_rank, std::int32_t tag, std::int32_t comm,
+                std::uint64_t bytes, std::uint64_t dtag, std::uint32_t seq) {
+    Envelope env;
+    env.src_rank = static_cast<int>(src_rank);
+    env.tag = tag;
+    env.comm = comm;
+    env.bytes = bytes;
+    env.dtag = dtag;
+    env.seq = seq;
+    env.inlined = false;
+    world->enqueueEnvelope(rank, std::move(env));
+  }
+
+  void recvInline(std::uint32_t src_rank, std::int32_t tag, std::int32_t comm,
+                  std::uint32_t seq, std::vector<std::byte> data, std::uint8_t data_valid) {
+    Envelope env;
+    env.src_rank = static_cast<int>(src_rank);
+    env.tag = tag;
+    env.comm = comm;
+    env.bytes = data.size();
+    env.seq = seq;
+    env.inlined = true;
+    env.data = std::move(data);
+    env.data_valid = data_valid != 0;
+    world->enqueueEnvelope(rank, std::move(env));
+  }
+
+  World* world;
+  int rank;
+};
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+int Rank::size() const { return world_->size(); }
+int Rank::pe() const { return world_->peOf(rank_); }
+hw::System& Rank::system() const { return world_->runtime().system(); }
+double Rank::timeUs() const { return sim::toUs(system().engine.now()); }
+
+Comm Rank::commWorld() const { return world_->commOf(0); }
+
+Request Rank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  return world_->isendImpl(rank_, buf, bytes, dst, tag, /*comm=*/0, /*status_src=*/rank_);
+}
+Request Rank::irecv(void* buf, std::uint64_t bytes, int src, int tag) {
+  return world_->irecvImpl(rank_, buf, bytes, src, tag, /*comm=*/0);
+}
+Request Rank::isend(const void* buf, std::uint64_t bytes, int dst, int tag, const Comm& comm) {
+  assert(comm.valid());
+  return world_->isendImpl(rank_, buf, bytes, comm.worldRankOf(dst), tag, comm.id(),
+                           comm.rankOf(rank_));
+}
+Request Rank::irecv(void* buf, std::uint64_t bytes, int src, int tag, const Comm& comm) {
+  assert(comm.valid());
+  const int world_src = src == kAnySource ? kAnySource : comm.worldRankOf(src);
+  return world_->irecvImpl(rank_, buf, bytes, world_src, tag, comm.id());
+}
+sim::Future<void> Rank::recv(void* buf, std::uint64_t bytes, int src, int tag, const Comm& comm,
+                             Status* st) {
+  Request r = irecv(buf, bytes, src, tag, comm);
+  if (st != nullptr) {
+    r.future().onReady([r, st] { *st = r.status(); });
+  }
+  return r.future();
+}
+sim::Future<int> Rank::waitAny(const std::vector<Request>& rs) {
+  sim::Promise<int> done;
+  auto fired = std::make_shared<bool>(false);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    rs[i].future().onReady([done, fired, i] {
+      if (*fired) return;
+      *fired = true;
+      done.set(static_cast<int>(i));
+    });
+  }
+  return done.future();
+}
+
+namespace {
+[[nodiscard]] coll::Op collOp(int op) {
+  switch (op) {
+    case 1:
+      return coll::Op::Max;
+    case 2:
+      return coll::Op::Min;
+    default:
+      return coll::Op::Sum;
+  }
+}
+}  // namespace
+
+sim::Future<void> Rank::bcast(void* buf, std::uint64_t bytes, int root) {
+  return coll::bcast(*this, buf, bytes, root).future();
+}
+sim::Future<void> Rank::reduce(const void* sendbuf, void* recvbuf, std::uint64_t count,
+                               int op, int root) {
+  return coll::reduce(*this, sendbuf, recvbuf, count, collOp(op), root).future();
+}
+sim::Future<void> Rank::allreduce(const void* sendbuf, void* recvbuf, std::uint64_t count,
+                                  int op) {
+  return coll::allreduce(*this, sendbuf, recvbuf, count, collOp(op)).future();
+}
+sim::Future<void> Rank::allgather(const void* sendbuf, void* recvbuf,
+                                  std::uint64_t bytes_each) {
+  return coll::allgather(*this, sendbuf, recvbuf, bytes_each).future();
+}
+sim::Future<void> Rank::alltoall(const void* sendbuf, void* recvbuf,
+                                 std::uint64_t bytes_each) {
+  return coll::alltoall(*this, sendbuf, recvbuf, bytes_each).future();
+}
+sim::Future<void> Rank::gather(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
+                               int root) {
+  return coll::gather(*this, sendbuf, recvbuf, bytes_each, root).future();
+}
+sim::Future<void> Rank::scatter(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
+                                int root) {
+  return coll::scatter(*this, sendbuf, recvbuf, bytes_each, root).future();
+}
+
+sim::Future<void> Rank::sendrecv(const void* sbuf, std::uint64_t sbytes, int dst, int stag,
+                                 void* rbuf, std::uint64_t rbytes, int src, int rtag,
+                                 Status* st) {
+  Request s = isend(sbuf, sbytes, dst, stag);
+  Request r = irecv(rbuf, rbytes, src, rtag);
+  if (st != nullptr) {
+    r.future().onReady([r, st] { *st = r.status(); });
+  }
+  std::vector<sim::Future<void>> both{s.future(), r.future()};
+  return sim::allOf(both);
+}
+
+std::optional<Status> Rank::iprobe(int src, int tag) {
+  return world_->iprobeImpl(rank_, src, tag, 0);
+}
+std::optional<Status> Rank::iprobe(int src, int tag, const Comm& comm) {
+  const int world_src = src == kAnySource ? kAnySource : comm.worldRankOf(src);
+  auto st = world_->iprobeImpl(rank_, world_src, tag, comm.id());
+  if (st && st->source >= 0) st->source = comm.rankOf(st->source);
+  return st;
+}
+
+sim::Future<Comm> Rank::split(const Comm& comm, int color, int key) {
+  sim::Promise<Comm> out;
+  (void)world_->splitTask(rank_, comm, color, key, out);
+  return out.future();
+}
+sim::Future<void> Rank::send(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  return isend(buf, bytes, dst, tag).future();
+}
+sim::Future<void> Rank::recv(void* buf, std::uint64_t bytes, int src, int tag, Status* st) {
+  Request r = irecv(buf, bytes, src, tag);
+  if (st != nullptr) {
+    r.future().onReady([r, st] { *st = r.status(); });
+  }
+  return r.future();
+}
+sim::Future<void> Rank::waitAll(const std::vector<Request>& rs) {
+  std::vector<sim::Future<void>> fs;
+  fs.reserve(rs.size());
+  for (const Request& r : rs) fs.push_back(r.future());
+  return sim::allOf(fs);
+}
+sim::Future<void> Rank::barrier() {
+  sim::Promise<void> done;
+  (void)world_->barrierTask(rank_, done);
+  return done.future();
+}
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(ck::Runtime& rt, int nranks) : rt_(rt) {
+  const int n = nranks < 0 ? rt.numPes() : nranks;
+  std::vector<int> world_members(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) world_members[static_cast<std::size_t>(i)] = i;
+  comms_.emplace(0, std::make_shared<const std::vector<int>>(std::move(world_members)));
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->self.world_ = this;
+    st->self.rank_ = r;
+    st->pe = peOf(r);
+    st->chare = rt_.create<RankChare>(st->pe, this, r);
+    st->seq_out.assign(static_cast<std::size_t>(n), 0);
+    st->seq_expected.assign(static_cast<std::size_t>(n), 0);
+    st->out_of_order.resize(static_cast<std::size_t>(n));
+    ranks_.push_back(std::move(st));
+  }
+}
+
+World::~World() = default;
+
+void World::run(std::function<sim::FutureTask(Rank&)> main) {
+  // The coroutine frames created by invoking `main` keep referencing the
+  // closure object for their whole lifetime (lambda-coroutine semantics), so
+  // the callable must outlive every rank: store it in the World and invoke
+  // through the stable member.
+  main_ = std::move(main);
+  auto remaining = std::make_shared<int>(size());
+  for (auto& st : ranks_) {
+    Rank* rank = &st->self;
+    rt_.startOn(st->pe, [this, rank, remaining] {
+      main_(*rank).future().onReady([this, remaining] {
+        if (--*remaining == 0) done_.set();
+      });
+    });
+  }
+}
+
+bool World::isDeviceCached(const void* p) {
+  // The per-PE software cache of addresses known to be on the GPU
+  // (paper Sec. III-C1). Shared across PEs here since the whole simulation
+  // is one process; hit/miss statistics still reflect cache behaviour.
+  auto it = device_cache_.find(p);
+  if (it != device_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  const bool dev = rt_.system().memory.isDevice(p);
+  device_cache_.emplace(p, dev);
+  return dev;
+}
+
+Request World::isendImpl(int src_rank, const void* buf, std::uint64_t bytes, int dst, int tag,
+                         int comm, int status_src) {
+  assert(dst >= 0 && dst < size());
+  RankState& st = *ranks_[static_cast<std::size_t>(src_rank)];
+  RankState& dst_st = *ranks_[static_cast<std::size_t>(dst)];
+  cmi::Pe& pe = rt_.cmi().pe(st.pe);
+  const model::LayerCosts& costs = rt_.costs();
+  pe.charge(sim::usec(costs.ampi_call_us + costs.ampi_overhead_send_us));
+
+  Request req;
+  const std::uint32_t seq = st.seq_out[static_cast<std::size_t>(dst)]++;
+  const bool device = isDeviceCached(buf);
+  const Status sent_status{status_src, tag, bytes};
+
+  if (device || bytes >= costs.host_pack_threshold) {
+    // Rendezvous path (paper Fig. 7): payload directly through the machine
+    // layer, metadata through the Charm++ runtime. The CkCallback stored
+    // with the CkDeviceBuffer completes the sender's request.
+    core::CmiDeviceBuffer cdb{buf, bytes, 0};
+    auto impl = req.impl_;
+    rt_.dev().lrtsSendDevice(st.pe, dst_st.pe, cdb,
+                             [impl, sent_status] { impl->complete(sent_status); });
+    dst_st.chare.sendFrom<&RankChare::recvMeta>(st.pe, static_cast<std::uint32_t>(src_rank),
+                                                static_cast<std::int32_t>(tag),
+                                                static_cast<std::int32_t>(comm), bytes, cdb.tag,
+                                                seq);
+  } else {
+    // Eager path: payload packed into the AMPI message.
+    std::vector<std::byte> data(bytes);
+    const bool valid = rt_.system().memory.dereferenceable(buf);
+    if (valid && bytes > 0) std::memcpy(data.data(), buf, bytes);
+    dst_st.chare.sendFrom<&RankChare::recvInline>(st.pe, static_cast<std::uint32_t>(src_rank),
+                                                  static_cast<std::int32_t>(tag),
+                                                  static_cast<std::int32_t>(comm), seq,
+                                                  std::move(data),
+                                                  static_cast<std::uint8_t>(valid ? 1 : 0));
+    // Buffered semantics: the send completes once the local copy retires.
+    auto impl = req.impl_;
+    pe.exec(0, [impl, sent_status] { impl->complete(sent_status); });
+  }
+  return req;
+}
+
+Request World::irecvImpl(int dst_rank, void* buf, std::uint64_t bytes, int src, int tag,
+                         int comm) {
+  RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  cmi::Pe& pe = rt_.cmi().pe(st.pe);
+  const model::LayerCosts& costs = rt_.costs();
+  pe.charge(sim::usec(costs.ampi_call_us + costs.ampi_match_us));
+
+  Request req;
+  PostedRecv p{req, buf, bytes, src, tag, comm};
+
+  // Search the unexpected queue in arrival order (paper Sec. III-C2).
+  for (auto it = st.unexpected.begin(); it != st.unexpected.end(); ++it) {
+    const bool src_ok = (src == kAnySource) || (src == it->src_rank);
+    const bool tag_ok = (tag == kAnyTag) || (tag == it->tag);
+    if (src_ok && tag_ok && comm == it->comm) {
+      Envelope env = std::move(*it);
+      st.unexpected.erase(it);
+      deliver(dst_rank, p, env);
+      return req;
+    }
+  }
+  st.posted.push_back(std::move(p));
+  return req;
+}
+
+void World::enqueueEnvelope(int dst_rank, Envelope env) {
+  // Restore per-source FIFO order: envelopes may overtake each other in the
+  // network when eager and rendezvous paths mix; MPI matching order must not.
+  RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  auto& expected = st.seq_expected[static_cast<std::size_t>(env.src_rank)];
+  auto& stash = st.out_of_order[static_cast<std::size_t>(env.src_rank)];
+  if (env.seq != expected) {
+    stash.push_back(std::move(env));
+    return;
+  }
+  ++expected;
+  const int src = env.src_rank;
+  processEnvelope(dst_rank, std::move(env));
+  // Drain any stashed envelopes that are now in order.
+  bool found = true;
+  while (found) {
+    found = false;
+    for (auto it = stash.begin(); it != stash.end(); ++it) {
+      if (it->seq == expected) {
+        Envelope next = std::move(*it);
+        stash.erase(it);
+        ++expected;
+        processEnvelope(dst_rank, std::move(next));
+        found = true;
+        break;
+      }
+    }
+  }
+  (void)src;
+}
+
+void World::processEnvelope(int dst_rank, Envelope env) {
+  RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  for (auto it = st.posted.begin(); it != st.posted.end(); ++it) {
+    const bool src_ok = (it->src == kAnySource) || (it->src == env.src_rank);
+    const bool tag_ok = (it->tag == kAnyTag) || (it->tag == env.tag);
+    if (src_ok && tag_ok && it->comm == env.comm) {
+      PostedRecv p = std::move(*it);
+      st.posted.erase(it);
+      deliver(dst_rank, p, env);
+      return;
+    }
+  }
+  st.unexpected.push_back(std::move(env));
+}
+
+void World::deliver(int dst_rank, PostedRecv& p, Envelope& env) {
+  assert(env.bytes <= p.capacity && "AMPI message truncation (recv buffer too small)");
+  RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  cmi::Pe& pe = rt_.cmi().pe(st.pe);
+  const model::LayerCosts& costs = rt_.costs();
+  // Status reports the communicator-local source rank.
+  const Comm c = commOf(env.comm);
+  const Status status{c.valid() ? c.rankOf(env.src_rank) : env.src_rank, env.tag, env.bytes};
+  auto impl = p.req.impl_;
+
+  if (env.inlined) {
+    if (env.data_valid && !env.data.empty() && rt_.system().memory.dereferenceable(p.buf)) {
+      std::memcpy(p.buf, env.data.data(), env.data.size());
+    }
+    const double copy_us =
+        (static_cast<double>(env.bytes) / 1e3) / rt_.system().config.host_memcpy_gbps;
+    pe.exec(sim::usec(costs.ampi_overhead_recv_us + copy_us),
+            [impl, status] { impl->complete(status); });
+    return;
+  }
+
+  // Rendezvous: post the machine-layer receive now that metadata matched
+  // (the paper's delayed-receive limitation lives exactly here).
+  const double extra = costs.ampi_overhead_recv_us;
+  core::DeviceRdmaOp op{p.buf, env.bytes, env.dtag};
+  rt_.dev().lrtsRecvDevice(st.pe, op, core::DeviceRecvType::Ampi,
+                           [impl, status, &pe, extra] {
+                             pe.exec(sim::usec(extra), [impl, status] { impl->complete(status); });
+                           });
+}
+
+std::optional<Status> World::iprobeImpl(int rank, int src, int tag, int comm) {
+  RankState& st = *ranks_[static_cast<std::size_t>(rank)];
+  rt_.cmi().pe(st.pe).charge(sim::usec(rt_.costs().ampi_call_us));
+  for (const Envelope& env : st.unexpected) {
+    const bool src_ok = (src == kAnySource) || (src == env.src_rank);
+    const bool tag_ok = (tag == kAnyTag) || (tag == env.tag);
+    if (src_ok && tag_ok && env.comm == comm) {
+      return Status{env.src_rank, env.tag, env.bytes};
+    }
+  }
+  return std::nullopt;
+}
+
+Comm World::commOf(int id) {
+  auto it = comms_.find(id);
+  if (it == comms_.end()) return Comm{};
+  return Comm{id, it->second};
+}
+
+int World::registerComm(std::vector<int> members) {
+  const int id = next_comm_id_++;
+  comms_.emplace(id, std::make_shared<const std::vector<int>>(std::move(members)));
+  return id;
+}
+
+sim::FutureTask World::splitTask(int world_rank, Comm comm, int color, int key,
+                                 sim::Promise<Comm> out) {
+  // Collective over comm's members: gather (color, key) at the group's rank
+  // 0, which forms the new groups — sorted by (key, old rank) — registers
+  // them, and scatters the new communicator ids back. All traffic uses
+  // internal world-comm tags derived from a per-communicator phase counter,
+  // so concurrent splits of different communicators cannot interfere.
+  const int n = comm.size();
+  const int local = comm.rankOf(world_rank);
+  assert(local >= 0 && "split called by a non-member");
+  const std::uint64_t phase =
+      ranks_[static_cast<std::size_t>(world_rank)]->split_phase[comm.id()]++;
+  const int tag = kInternalTagBase + (1 << 20) + static_cast<int>(phase % 1024) * 4;
+  Rank& self = ranks_[static_cast<std::size_t>(world_rank)]->self;
+  const int root_world = comm.worldRankOf(0);
+
+  struct Entry {
+    int color, key, world;
+  };
+  Entry mine{color, key, world_rank};
+  if (local != 0) {
+    co_await self.wait(self.isend(&mine, sizeof mine, root_world, tag));
+    int new_id = -1;
+    co_await self.recv(&new_id, sizeof new_id, root_world, tag + 1);
+    out.set(commOf(new_id));
+    co_return;
+  }
+
+  std::vector<Entry> entries(static_cast<std::size_t>(n));
+  entries[0] = mine;
+  for (int i = 1; i < n; ++i) {
+    ampi::Status st;
+    Entry e{};
+    co_await self.recv(&e, sizeof e, kAnySource, tag, &st);
+    // Place by sender order of arrival; position does not matter, sorting
+    // below is deterministic on (color, key, world).
+    entries[static_cast<std::size_t>(i)] = e;
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.color != b.color) return a.color < b.color;
+    if (a.key != b.key) return a.key < b.key;
+    return a.world < b.world;
+  });
+  // Form one communicator per colour and scatter ids.
+  std::unordered_map<int, int> comm_of_color;
+  std::vector<int> assigned(static_cast<std::size_t>(n), -1);
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    const int c = entries[i].color;
+    std::size_t j = i;
+    std::vector<int> members;
+    while (j < entries.size() && entries[j].color == c) {
+      members.push_back(entries[j].world);
+      ++j;
+    }
+    const int id = c == kUndefinedColor ? -1 : registerComm(std::move(members));
+    for (std::size_t k = i; k < j; ++k) {
+      // Remember which world rank got which id.
+      assigned[static_cast<std::size_t>(comm.rankOf(entries[k].world))] = id;
+    }
+    i = j;
+  }
+  std::vector<Request> sends;
+  for (int lr = 1; lr < n; ++lr) {
+    sends.push_back(self.isend(&assigned[static_cast<std::size_t>(lr)], sizeof(int),
+                               comm.worldRankOf(lr), tag + 1));
+  }
+  co_await self.waitAll(sends);
+  out.set(commOf(assigned[0]));
+}
+
+sim::FutureTask World::barrierTask(int rank, sim::Promise<void> done) {
+  RankState& st = *ranks_[static_cast<std::size_t>(rank)];
+  const std::uint64_t phase = st.barrier_phase++;
+  const int n = size();
+  Rank& self = st.self;
+  int round = 0;
+  for (int d = 1; d < n; d <<= 1, ++round) {
+    const int to = (rank + d) % n;
+    const int from = (rank - d + n) % n;
+    const int tag = kInternalTagBase + static_cast<int>(phase % 1024) * 64 + round;
+    Request s = self.isend(nullptr, 0, to, tag);
+    Request r = self.irecv(nullptr, 0, from, tag);
+    co_await self.wait(r);
+    co_await self.wait(s);
+  }
+  done.set();
+}
+
+}  // namespace cux::ampi

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+/// \file geometry.hpp
+/// Domain decomposition for Jacobi3D (paper Sec. IV-C): the problem domain
+/// is split into equal-size cuboid blocks, choosing the processor grid that
+/// minimises communication surface area. One block per PE/GPU (the paper
+/// disables overdecomposition for the evaluation).
+
+namespace cux::jacobi {
+
+/// Face direction of a halo exchange.
+enum class Dir : int { XMinus = 0, XPlus = 1, YMinus = 2, YPlus = 3, ZMinus = 4, ZPlus = 5 };
+inline constexpr int kNumDirs = 6;
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  const int i = static_cast<int>(d);
+  return static_cast<Dir>(i ^ 1);
+}
+
+struct Vec3 {
+  std::int64_t x = 0, y = 0, z = 0;
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+/// The decomposition of a (nx, ny, nz) global grid over P blocks.
+struct Decomposition {
+  Vec3 grid;    ///< global cells
+  Vec3 procs;   ///< processor grid (px * py * pz == P)
+  Vec3 block;   ///< cells per block (ceil division)
+
+  [[nodiscard]] int numBlocks() const noexcept {
+    return static_cast<int>(procs.x * procs.y * procs.z);
+  }
+  /// Linear block id of coordinates (bx, by, bz), x-major.
+  [[nodiscard]] int idOf(Vec3 c) const noexcept {
+    return static_cast<int>(c.x + procs.x * (c.y + procs.y * c.z));
+  }
+  [[nodiscard]] Vec3 coordOf(int id) const noexcept {
+    return Vec3{id % procs.x, (id / procs.x) % procs.y, id / (procs.x * procs.y)};
+  }
+  /// Neighbor block id in direction `d`, or -1 at the domain boundary.
+  [[nodiscard]] int neighbor(int id, Dir d) const noexcept;
+
+  /// Cells in the face exchanged in direction `d`.
+  [[nodiscard]] std::uint64_t faceCells(Dir d) const noexcept;
+  /// Bytes of one halo face (doubles).
+  [[nodiscard]] std::uint64_t faceBytes(Dir d) const noexcept { return faceCells(d) * 8; }
+
+  /// Cells in one block.
+  [[nodiscard]] std::uint64_t blockCells() const noexcept {
+    return static_cast<std::uint64_t>(block.x) * block.y * block.z;
+  }
+
+  /// Total halo surface of one interior block, in cells.
+  [[nodiscard]] std::uint64_t surfaceCells() const noexcept;
+};
+
+/// Chooses the processor grid with minimal per-block surface area for P
+/// blocks over the given global grid (the paper: "decomposed into equal-size
+/// cuboid blocks, minimizing surface area").
+[[nodiscard]] Decomposition decompose(Vec3 grid, int num_blocks);
+
+/// The paper's weak-scaling series: base 1536^3 on one node, each dimension
+/// doubled in x, y, z order as the node count doubles (Sec. IV-C).
+[[nodiscard]] Vec3 weakScaledGrid(Vec3 base, int node_exponent);
+
+}  // namespace cux::jacobi

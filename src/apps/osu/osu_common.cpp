@@ -1,0 +1,101 @@
+#include "apps/osu/osu.hpp"
+
+#include <cassert>
+
+namespace cux::osu {
+
+const char* name(Stack s) {
+  switch (s) {
+    case Stack::Charm:
+      return "Charm++";
+    case Stack::Ampi:
+      return "AMPI";
+    case Stack::Ompi:
+      return "OpenMPI";
+    case Stack::Charm4py:
+      return "Charm4py";
+  }
+  return "?";
+}
+
+const char* suffix(Mode m) { return m == Mode::Device ? "D" : "H"; }
+
+std::vector<std::size_t> defaultSizes() {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 1; s <= (4u << 20); s <<= 1) out.push_back(s);
+  return out;
+}
+
+double latencyPoint(const BenchConfig& cfg, std::size_t bytes) {
+  switch (cfg.stack) {
+    case Stack::Charm:
+      return detail::charmLatency(cfg, bytes);
+    case Stack::Ampi:
+    case Stack::Ompi:
+      return detail::mpiLatency(cfg, bytes);
+    case Stack::Charm4py:
+      return detail::c4pLatency(cfg, bytes);
+  }
+  return 0;
+}
+
+double bandwidthPoint(const BenchConfig& cfg, std::size_t bytes) {
+  switch (cfg.stack) {
+    case Stack::Charm:
+      return detail::charmBandwidth(cfg, bytes);
+    case Stack::Ampi:
+    case Stack::Ompi:
+      return detail::mpiBandwidth(cfg, bytes);
+    case Stack::Charm4py:
+      return detail::c4pBandwidth(cfg, bytes);
+  }
+  return 0;
+}
+
+std::vector<Point> runLatency(const BenchConfig& cfg) {
+  const auto sizes = cfg.sizes.empty() ? defaultSizes() : cfg.sizes;
+  std::vector<Point> out;
+  out.reserve(sizes.size());
+  for (std::size_t s : sizes) out.push_back({s, latencyPoint(cfg, s)});
+  return out;
+}
+
+std::vector<Point> runBandwidth(const BenchConfig& cfg) {
+  const auto sizes = cfg.sizes.empty() ? defaultSizes() : cfg.sizes;
+  std::vector<Point> out;
+  out.reserve(sizes.size());
+  for (std::size_t s : sizes) out.push_back({s, bandwidthPoint(cfg, s)});
+  return out;
+}
+
+std::vector<Point> runBiBandwidth(const BenchConfig& cfg) {
+  assert((cfg.stack == Stack::Ampi || cfg.stack == Stack::Ompi) &&
+         "osu_bibw is implemented for the MPI stacks");
+  const auto sizes = cfg.sizes.empty() ? defaultSizes() : cfg.sizes;
+  std::vector<Point> out;
+  out.reserve(sizes.size());
+  for (std::size_t s : sizes) out.push_back({s, detail::mpiBiBandwidth(cfg, s)});
+  return out;
+}
+
+std::vector<Point> runMultiLatency(const BenchConfig& cfg) {
+  assert((cfg.stack == Stack::Ampi || cfg.stack == Stack::Ompi) &&
+         "osu_multi_lat is implemented for the MPI stacks");
+  const auto sizes = cfg.sizes.empty() ? defaultSizes() : cfg.sizes;
+  std::vector<Point> out;
+  out.reserve(sizes.size());
+  for (std::size_t s : sizes) out.push_back({s, detail::mpiMultiLatency(cfg, s)});
+  return out;
+}
+
+namespace detail {
+
+std::pair<int, int> pickPes(const BenchConfig& cfg) {
+  assert(cfg.model.machine.num_nodes >= 2 || cfg.place == Placement::IntraNode);
+  if (cfg.place == Placement::IntraNode) return {0, 1};  // same socket, NVLink peers
+  return {0, cfg.model.machine.gpus_per_node};           // PE 0 of node 0 and node 1
+}
+
+}  // namespace detail
+
+}  // namespace cux::osu

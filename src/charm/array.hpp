@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "charm/charm.hpp"
+
+/// \file array.hpp
+/// Chare arrays: N-dimensional indexed collections of chares, the
+/// abstraction real Charm++ applications (including the original Jacobi3D)
+/// are written against. Elements are constructed with their index, mapped
+/// round-robin across PEs (overdecomposition falls out naturally when the
+/// array is larger than the machine), and addressed by index from anywhere.
+
+namespace cux::ck {
+
+template <class T, int NDim = 1>
+class Array {
+ public:
+  using Index = std::array<int, NDim>;
+
+  /// Creates shape[0] x ... x shape[NDim-1] elements of T. Each element's
+  /// constructor is called as T(Index, args...).
+  template <class... A>
+  Array(Runtime& rt, Index shape, A&&... args) : rt_(&rt), shape_(shape) {
+    int total = 1;
+    for (int d = 0; d < NDim; ++d) {
+      assert(shape[static_cast<std::size_t>(d)] > 0);
+      total *= shape[static_cast<std::size_t>(d)];
+    }
+    elements_.reserve(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      elements_.push_back(rt.create<T>(peOf(i), indexOf(i), args...));
+    }
+  }
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(elements_.size()); }
+  [[nodiscard]] Index shape() const noexcept { return shape_; }
+
+  /// Proxy of the element at `idx`.
+  [[nodiscard]] Proxy<T> operator[](Index idx) const {
+    return elements_[static_cast<std::size_t>(linearOf(idx))];
+  }
+  /// Direct object access (tests / setup).
+  [[nodiscard]] T* local(Index idx) const { return (*this)[idx].local(); }
+
+  /// Linearised index (x-major) of `idx`.
+  [[nodiscard]] int linearOf(Index idx) const {
+    int lin = 0;
+    for (int d = NDim - 1; d >= 0; --d) {
+      const int x = idx[static_cast<std::size_t>(d)];
+      assert(x >= 0 && x < shape_[static_cast<std::size_t>(d)]);
+      lin = lin * shape_[static_cast<std::size_t>(d)] + x;
+    }
+    return lin;
+  }
+  [[nodiscard]] Index indexOf(int lin) const {
+    Index idx{};
+    for (int d = 0; d < NDim; ++d) {
+      idx[static_cast<std::size_t>(d)] = lin % shape_[static_cast<std::size_t>(d)];
+      lin /= shape_[static_cast<std::size_t>(d)];
+    }
+    return idx;
+  }
+  /// Home PE of element `lin` (round-robin map).
+  [[nodiscard]] int peOf(int lin) const { return lin % rt_->numPes(); }
+
+  /// Invokes M on every element (Charm++'s array broadcast).
+  template <auto M, class... A>
+  void broadcast(A&&... args) const {
+    for (const auto& p : elements_) p.template send<M>(args...);
+  }
+  template <auto M, class... A>
+  void broadcastFrom(int src_pe, A&&... args) const {
+    for (const auto& p : elements_) p.template sendFrom<M>(src_pe, args...);
+  }
+
+  /// Whether `idx` is inside the array bounds (for neighbour arithmetic).
+  [[nodiscard]] bool inBounds(Index idx) const {
+    for (int d = 0; d < NDim; ++d) {
+      if (idx[static_cast<std::size_t>(d)] < 0 ||
+          idx[static_cast<std::size_t>(d)] >= shape_[static_cast<std::size_t>(d)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Runtime* rt_;
+  Index shape_;
+  std::vector<Proxy<T>> elements_;
+};
+
+}  // namespace cux::ck

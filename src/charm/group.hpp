@@ -1,0 +1,174 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "charm/charm.hpp"
+
+/// \file group.hpp
+/// Chare groups and contribute-style reductions — the Charm++ core features
+/// GPU applications lean on for broadcasts and convergence checks (real
+/// Jacobi codes use contribute/CkCallback for their residual reductions).
+///
+/// A Group<T> places one chare of type T on every PE. broadcast<M>() invokes
+/// an entry method on every element; Reduction implements the
+/// contribute(value, reducer, callback) pattern with a binary spanning tree
+/// over PEs, delivering the combined value to a CkCallback at the root.
+
+namespace cux::ck {
+
+enum class ReducerOp : std::uint8_t { Sum, Max, Min };
+
+namespace detail {
+
+[[nodiscard]] inline double combine(double a, double b, ReducerOp op) {
+  switch (op) {
+    case ReducerOp::Sum:
+      return a + b;
+    case ReducerOp::Max:
+      return a > b ? a : b;
+    case ReducerOp::Min:
+      return a < b ? a : b;
+  }
+  return a;
+}
+
+}  // namespace detail
+
+/// Tree reduction over one contribution per PE. Create one per group (or per
+/// logical reduction stream); contributions are matched by round number, so
+/// repeated reductions pipeline safely even when PEs run ahead.
+class Reduction {
+ public:
+  using ResultFn = std::function<void(double)>;
+
+  /// `fanout`-ary reduction tree rooted at PE 0.
+  explicit Reduction(Runtime& rt, int fanout = 2)
+      : rt_(rt), fanout_(fanout), pes_(rt.numPes()) {
+    nodes_.reserve(static_cast<std::size_t>(pes_));
+    for (int pe = 0; pe < pes_; ++pe) nodes_.push_back(rt.create<Node>(pe, this));
+  }
+  Reduction(const Reduction&) = delete;
+  Reduction& operator=(const Reduction&) = delete;
+
+  /// Contributes this PE's value to reduction round `round` (rounds must be
+  /// used in order, 0, 1, 2, ...). Must run in `pe`'s context.
+  void contribute(int pe, double value, ReducerOp op, ResultFn on_result = {}) {
+    Node* node = nodes_[static_cast<std::size_t>(pe)].local();
+    node->accept(static_cast<std::uint32_t>(node->local_round++), value, op,
+                 std::move(on_result));
+  }
+
+ private:
+  struct Node : Chare {
+    explicit Node(Reduction* o) : owner(o) {}
+
+    struct RoundState {
+      double acc = 0;
+      int received = 0;
+      bool own_contributed = false;
+      bool started = false;
+      ReducerOp op = ReducerOp::Sum;
+      ResultFn on_result;
+    };
+
+    static void merge(RoundState& st, double v, ReducerOp op) {
+      st.op = op;
+      st.acc = st.started ? detail::combine(st.acc, v, op) : v;
+      st.started = true;
+    }
+
+    [[nodiscard]] int childCount() const {
+      const int pes = owner->pes_;
+      const int fan = owner->fanout_;
+      int n = 0;
+      for (int c = myPe() * fan + 1; c <= myPe() * fan + fan && c < pes; ++c) ++n;
+      return n;
+    }
+
+    void accept(std::uint32_t round, double value, ReducerOp op, ResultFn cb) {
+      RoundState& st = state(round);
+      st.own_contributed = true;
+      merge(st, value, op);
+      if (cb) st.on_result = std::move(cb);
+      maybeForward(round);
+    }
+
+    void fromChild(std::uint32_t round, double value, std::uint8_t op_raw) {
+      RoundState& st = state(round);
+      merge(st, value, static_cast<ReducerOp>(op_raw));
+      ++st.received;
+      maybeForward(round);
+    }
+
+    void maybeForward(std::uint32_t round) {
+      RoundState& st = state(round);
+      if (!st.own_contributed || st.received < childCount()) return;
+      const double result = st.acc;
+      const ReducerOp op = st.op;
+      ResultFn cb = std::move(st.on_result);
+      erase(round);
+      if (myPe() == 0) {
+        if (cb) cb(result);
+        return;
+      }
+      const int parent = (myPe() - 1) / owner->fanout_;
+      owner->nodes_[static_cast<std::size_t>(parent)].sendFrom<&Node::fromChild>(
+          myPe(), round, result, static_cast<std::uint8_t>(op));
+      (void)cb;  // non-root callbacks are not invoked (Charm++ semantics)
+    }
+
+    RoundState& state(std::uint32_t round) { return rounds_[round]; }
+    void erase(std::uint32_t round) { rounds_.erase(round); }
+
+    Reduction* owner;
+    std::uint64_t local_round = 0;
+    std::unordered_map<std::uint32_t, RoundState> rounds_;
+  };
+
+  Runtime& rt_;
+  int fanout_;
+  int pes_;
+  std::vector<Proxy<Node>> nodes_;
+};
+
+/// One chare of type T on every PE, with broadcast invocation.
+template <class T>
+class Group {
+ public:
+  template <class... A>
+  explicit Group(Runtime& rt, A&&... args) : rt_(rt) {
+    elements_.reserve(static_cast<std::size_t>(rt.numPes()));
+    for (int pe = 0; pe < rt.numPes(); ++pe) {
+      elements_.push_back(rt.create<T>(pe, args...));
+    }
+  }
+
+  [[nodiscard]] Proxy<T> onPe(int pe) const {
+    return elements_[static_cast<std::size_t>(pe)];
+  }
+  [[nodiscard]] T* localOn(int pe) const { return onPe(pe).local(); }
+  [[nodiscard]] int size() const { return static_cast<int>(elements_.size()); }
+
+  /// Invokes entry method M on every element (one message per PE, sent from
+  /// the current PE — Charm++'s broadcast over a group).
+  template <auto M, class... A>
+  void broadcast(A&&... args) const {
+    for (const auto& p : elements_) p.template send<M>(args...);
+  }
+
+  /// Broadcast with an explicit source PE (for coroutine contexts).
+  template <auto M, class... A>
+  void broadcastFrom(int src_pe, A&&... args) const {
+    for (const auto& p : elements_) p.template sendFrom<M>(src_pe, args...);
+  }
+
+ private:
+  Runtime& rt_;
+  std::vector<Proxy<T>> elements_;
+};
+
+}  // namespace cux::ck

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "charm/charm.hpp"
+#include "hw/cuda.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+/// \file charm4py.hpp
+/// Charm4py's Channel API over the Charm++ runtime (paper Sections II-E and
+/// III-D), with the Python/Cython layer replaced by a calibrated overhead
+/// model: every user-level call pays the interpreter + Cython crossing cost
+/// (py_call_us); completions that wake a suspended coroutine pay the
+/// future-fulfilment cost (py_wakeup_us); host payload copies run at Python
+/// buffer-copy bandwidth (py_host_copy_gbps).
+///
+/// Channels provide explicit ordered send/receive semantics between two
+/// chares; a receive suspends the calling coroutine on a future until the
+/// message arrives (paper: "retains asynchrony by suspending the caller
+/// object until the respective communication is complete"). The GPU-aware
+/// path hands device pointers straight to the Charm++ runtime, which routes
+/// them through LrtsSendDevice exactly as in Fig. 9.
+
+namespace cux::c4p {
+
+class Charm4py;
+
+/// One endpoint of a channel, bound to a PE. All calls must run from that
+/// PE's context (a coroutine started with Charm4py::startOn).
+class ChannelEnd {
+ public:
+  /// Sends `bytes` at `buf` (host or device) to the peer end.
+  /// The returned future completes when the buffer is reusable.
+  [[nodiscard]] sim::Future<void> send(const void* buf, std::uint64_t bytes);
+
+  /// Receives the next in-order message into `buf` (capacity `bytes`).
+  [[nodiscard]] sim::Future<void> recv(void* buf, std::uint64_t bytes);
+
+  [[nodiscard]] int pe() const noexcept { return pe_; }
+
+ private:
+  friend class Charm4py;
+  Charm4py* owner_ = nullptr;
+  std::uint64_t chan_ = 0;
+  int side_ = 0;  ///< 0 or 1
+  int pe_ = -1;
+};
+
+/// A bidirectional ordered connection between two chares (paper [14]).
+struct Channel {
+  ChannelEnd* a = nullptr;
+  ChannelEnd* b = nullptr;
+};
+
+class Charm4py {
+ public:
+  explicit Charm4py(ck::Runtime& rt);
+  Charm4py(const Charm4py&) = delete;
+  Charm4py& operator=(const Charm4py&) = delete;
+  ~Charm4py();
+
+  [[nodiscard]] ck::Runtime& runtime() noexcept { return rt_; }
+  [[nodiscard]] hw::System& system() noexcept { return rt_.system(); }
+
+  /// Establishes a channel between chares on `pe_a` and `pe_b`.
+  Channel makeChannel(int pe_a, int pe_b);
+
+  /// Launches a Python coroutine on `pe` (entry method invocation).
+  void startOn(int pe, std::function<void()> fn);
+
+  // --- charm.lib CUDA helpers (paper Fig. 8) -----------------------------
+  /// The host-staging path calls these through Charm4py's Cython layer, so
+  /// each pays the Python call overhead on top of the CUDA cost.
+  void cudaDtoH(int pe, void* h_dst, const void* d_src, std::uint64_t n, cuda::Stream& s);
+  void cudaHtoD(int pe, void* d_dst, const void* h_src, std::uint64_t n, cuda::Stream& s);
+  [[nodiscard]] sim::Future<void> streamSynchronize(int pe, cuda::Stream& s);
+
+  /// Charges one Python-call overhead on `pe` (exposed for workload code
+  /// that models extra interpreter work).
+  void chargePyCall(int pe);
+
+  // --- remote invocation with futures (charm4py's `ret=True`) -------------
+  /// Runs `fn` on `target_pe` as a remote entry-method invocation and
+  /// returns a future, fulfilled on the calling PE with the result — the
+  /// charm4py pattern `fut = proxy.method(args, ret=True); fut.get()`.
+  /// R must be trivially copyable (it travels in the reply message).
+  template <class R, class F>
+  [[nodiscard]] sim::Future<R> invoke(int from_pe, int target_pe, F fn) {
+    static_assert(std::is_trivially_copyable_v<R>, "results travel by bytes");
+    chargePyCall(from_pe);
+    sim::Promise<R> promise;
+    const std::uint64_t id = next_call_++;
+    PendingCall call;
+    call.run = [fn = std::move(fn)]() {
+      R r = fn();
+      std::vector<std::byte> out(sizeof(R));
+      std::memcpy(out.data(), &r, sizeof(R));
+      return out;
+    };
+    call.deliver = [this, promise](std::vector<std::byte> bytes, int pe) {
+      R r{};
+      std::memcpy(&r, bytes.data(), sizeof(R));
+      rt_.cmi().pe(pe).exec(sim::usec(rt_.costs().py_wakeup_us),
+                            [promise, r] { promise.set(r); });
+    };
+    calls_.emplace(id, std::move(call));
+    sendInvoke(from_pe, target_pe, id);
+    return promise.future();
+  }
+
+ private:
+  friend class ChannelEnd;
+  struct PerPeChare;
+
+  struct Envelope {
+    std::uint64_t bytes = 0;
+    std::uint64_t dtag = 0;
+    std::uint32_t seq = 0;
+    bool inlined = false;
+    std::vector<std::byte> data;
+    bool src_host = false;  ///< host payload: the receiver pays a Python copy
+    bool data_valid = true;
+  };
+  struct PendingRecv {
+    void* buf = nullptr;
+    std::uint64_t capacity = 0;
+    sim::Promise<void> done;
+  };
+  /// Per-direction endpoint state, keyed by (channel, receiving side).
+  struct EndpointState {
+    std::deque<Envelope> arrived;      // in-order, ready to match
+    std::deque<PendingRecv> waiting;   // recvs posted before arrival
+    std::uint32_t seq_out = 0;         // next seq this side sends
+    std::uint32_t seq_expected = 0;    // next in-order seq to accept
+    std::vector<Envelope> out_of_order;
+  };
+
+  struct PendingCall {
+    std::function<std::vector<std::byte>()> run;
+    std::function<void(std::vector<std::byte>, int pe)> deliver;
+  };
+
+  sim::Future<void> sendImpl(ChannelEnd& end, const void* buf, std::uint64_t bytes);
+  sim::Future<void> recvImpl(ChannelEnd& end, void* buf, std::uint64_t bytes);
+  void onEnvelope(int pe, std::uint64_t chan, int side, Envelope env);
+  void matchOne(int pe, EndpointState& st);
+  EndpointState& endpoint(std::uint64_t chan, int side);
+  void sendInvoke(int from_pe, int target_pe, std::uint64_t id);
+
+  ck::Runtime& rt_;
+  std::vector<ck::Proxy<PerPeChare>> chares_;  // one per PE
+  std::vector<std::unique_ptr<ChannelEnd>> ends_;
+  std::unordered_map<std::uint64_t, EndpointState> endpoints_;  // key: chan*2+side
+  std::unordered_map<std::uint64_t, PendingCall> calls_;
+  std::uint64_t next_chan_ = 0;
+  std::uint64_t next_call_ = 0;
+};
+
+}  // namespace cux::c4p

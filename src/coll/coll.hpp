@@ -1,0 +1,280 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "hw/cuda.hpp"
+#include "sim/future.hpp"
+#include "sim/task.hpp"
+
+/// \file coll.hpp
+/// GPU-aware collective communication built on the point-to-point layer —
+/// the extension the paper names as future work ("supporting collective
+/// communication of GPU data, using this work as the basis to translate
+/// collective communication primitives to point-to-point calls",
+/// Sec. VI).
+///
+/// The algorithms are the classical ones:
+///  * broadcast / reduce — binomial tree;
+///  * allreduce — recursive doubling (power-of-two), with a fold-in step for
+///    the remainder ranks;
+///  * allgather — ring;
+///  * alltoall — pairwise exchange;
+///  * gather / scatter — linear to/from the root.
+///
+/// Every primitive works on host *or* device buffers: the payload rides the
+/// GPU-aware point-to-point path, temporaries live in the caller-provided
+/// workspace, and reduction arithmetic is a modelled GPU kernel whose body
+/// performs the real math when the memory is backed, so the test suite can
+/// verify results exactly.
+///
+/// The templates accept any rank type exposing the shared MPI-ish surface
+/// (ampi::Rank and ompi::Rank both qualify).
+
+namespace cux::coll {
+
+enum class Op : std::uint8_t { Sum, Max, Min };
+
+/// Tag space reserved for collectives; user point-to-point traffic must use
+/// smaller tags. Each concurrent collective needs a distinct `tag` argument
+/// (or sequential calls can share one, matching MPI's ordered semantics).
+inline constexpr int kCollTagBase = 1 << 28;
+
+namespace detail {
+
+inline void combine(double* dst, const double* src, std::uint64_t count, Op op) {
+  switch (op) {
+    case Op::Sum:
+      for (std::uint64_t i = 0; i < count; ++i) dst[i] += src[i];
+      break;
+    case Op::Max:
+      for (std::uint64_t i = 0; i < count; ++i) dst[i] = src[i] > dst[i] ? src[i] : dst[i];
+      break;
+    case Op::Min:
+      for (std::uint64_t i = 0; i < count; ++i) dst[i] = src[i] < dst[i] ? src[i] : dst[i];
+      break;
+  }
+}
+
+/// Reduction kernel on `count` doubles: modelled as memory-bound traffic
+/// (read both operands, write one) with the real arithmetic as the body when
+/// the buffers are backed.
+template <class RankT>
+sim::Future<void> combineKernel(RankT& r, cuda::Stream& stream, void* dst, const void* src,
+                                std::uint64_t count, Op op) {
+  hw::System& sys = r.system();
+  const sim::Duration cost =
+      sim::transferTime(count * 8 * 3, sys.config.gpu_mem_bandwidth_gbps * 0.8);
+  const bool real = sys.memory.dereferenceable(dst) && sys.memory.dereferenceable(src);
+  stream.launch(cost, [real, dst, src, count, op] {
+    if (real) combine(static_cast<double*>(dst), static_cast<const double*>(src), count, op);
+  });
+  return stream.synchronize();
+}
+
+/// Scratch device buffer sized for one message, on the caller's GPU.
+class Scratch {
+ public:
+  Scratch(hw::System& sys, int device, std::uint64_t bytes)
+      : sys_(sys),
+        ptr_(cuda::deviceAlloc(sys, device, bytes)) {}
+  ~Scratch() { cuda::deviceFree(sys_, ptr_); }
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  [[nodiscard]] void* get() const noexcept { return ptr_; }
+
+ private:
+  hw::System& sys_;
+  void* ptr_;
+};
+
+}  // namespace detail
+
+/// Broadcast `bytes` at `buf` (significant on `root`) to all ranks.
+/// Binomial tree: log2(P) rounds.
+template <class RankT>
+sim::FutureTask bcast(RankT& r, void* buf, std::uint64_t bytes, int root,
+                      int tag = kCollTagBase) {
+  const int n = r.size();
+  const int me = (r.rank() - root + n) % n;  // root-relative rank
+  // Receive from the parent, then forward down the tree.
+  int mask = 1;
+  while (mask < n) {
+    if (me & mask) {
+      const int parent = (me - mask + root) % n;
+      co_await r.recv(buf, bytes, parent, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  std::vector<decltype(r.isend(buf, bytes, 0, 0))> sends;
+  while (mask > 0) {
+    if (me + mask < n) {
+      const int child = (me + mask + root) % n;
+      sends.push_back(r.isend(buf, bytes, child, tag));
+    }
+    mask >>= 1;
+  }
+  co_await r.waitAll(sends);
+}
+
+/// Reduce `count` doubles from `sendbuf` into `recvbuf` on `root`.
+/// Binomial tree; needs a scratch buffer per receiving step.
+template <class RankT>
+sim::FutureTask reduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                       Op op, int root, int tag = kCollTagBase) {
+  const int n = r.size();
+  const int me = (r.rank() - root + n) % n;
+  const std::uint64_t bytes = count * 8;
+  hw::System& sys = r.system();
+  cuda::Stream stream(sys, r.pe());
+
+  // Accumulator: root accumulates into recvbuf; others into scratch.
+  detail::Scratch acc(sys, r.pe(), bytes);
+  void* accp = me == 0 ? recvbuf : acc.get();
+  cuda::moveBytes(sys, accp, sendbuf, bytes);
+
+  detail::Scratch incoming(sys, r.pe(), bytes);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (me & mask) {
+      const int parent = (me - mask + root) % n;
+      co_await r.send(accp, bytes, parent, tag);
+      co_return;
+    }
+    if (me + mask < n) {
+      const int child = (me + mask + root) % n;
+      co_await r.recv(incoming.get(), bytes, child, tag);
+      co_await detail::combineKernel(r, stream, accp, incoming.get(), count, op);
+    }
+  }
+}
+
+/// Allreduce over doubles: recursive doubling on the largest power-of-two
+/// subset, with remainder ranks folded in and out.
+template <class RankT>
+sim::FutureTask allreduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                          Op op, int tag = kCollTagBase) {
+  const int n = r.size();
+  const int me = r.rank();
+  const std::uint64_t bytes = count * 8;
+  hw::System& sys = r.system();
+  cuda::Stream stream(sys, r.pe());
+
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+
+  cuda::moveBytes(sys, recvbuf, sendbuf, bytes);
+  detail::Scratch incoming(sys, r.pe(), bytes);
+
+  // Fold the remainder ranks into their partners.
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {  // odd remainder ranks send and wait for the result
+      co_await r.send(recvbuf, bytes, me - 1, tag);
+      co_await r.recv(recvbuf, bytes, me - 1, tag + 1);
+      co_return;
+    }
+    co_await r.recv(incoming.get(), bytes, me + 1, tag);
+    co_await detail::combineKernel(r, stream, recvbuf, incoming.get(), count, op);
+  }
+  // Ranks participating in recursive doubling, renumbered densely.
+  const int my_pof2 = me < 2 * rem ? me / 2 : me - rem;
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    const int peer_pof2 = my_pof2 ^ mask;
+    const int peer = peer_pof2 < rem ? peer_pof2 * 2 : peer_pof2 + rem;
+    auto s = r.isend(recvbuf, bytes, peer, tag + 2);
+    co_await r.recv(incoming.get(), bytes, peer, tag + 2);
+    co_await r.wait(s);
+    co_await detail::combineKernel(r, stream, recvbuf, incoming.get(), count, op);
+  }
+  // Hand the result back to the folded ranks.
+  if (me < 2 * rem && me % 2 == 0) {
+    co_await r.send(recvbuf, bytes, me + 1, tag + 1);
+  }
+}
+
+/// Allgather: each rank contributes `bytes` at `sendbuf`; `recvbuf` receives
+/// size*bytes, rank i's block at offset i*bytes. Ring algorithm: P-1 steps.
+template <class RankT>
+sim::FutureTask allgather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                          int tag = kCollTagBase) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  auto* out = static_cast<std::byte*>(recvbuf);
+  cuda::moveBytes(sys, out + static_cast<std::uint64_t>(me) * bytes, sendbuf, bytes);
+
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_block = (me - step + n) % n;
+    const int recv_block = (me - step - 1 + n) % n;
+    auto s = r.isend(out + static_cast<std::uint64_t>(send_block) * bytes, bytes, right, tag);
+    co_await r.recv(out + static_cast<std::uint64_t>(recv_block) * bytes, bytes, left, tag);
+    co_await r.wait(s);
+  }
+}
+
+/// Alltoall: rank i sends its j-th block to rank j. Pairwise exchange.
+template <class RankT>
+sim::FutureTask alltoall(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                         int tag = kCollTagBase) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  cuda::moveBytes(sys, out + static_cast<std::uint64_t>(me) * bytes,
+                  in + static_cast<std::uint64_t>(me) * bytes, bytes);
+  // Shift exchange: at step s every rank sends to (me+s) and receives from
+  // (me-s) — uniform for any rank count.
+  for (int step = 1; step < n; ++step) {
+    const int to = (me + step) % n;
+    const int from = (me - step + n) % n;
+    auto s = r.isend(in + static_cast<std::uint64_t>(to) * bytes, bytes, to, tag + step);
+    co_await r.recv(out + static_cast<std::uint64_t>(from) * bytes, bytes, from, tag + step);
+    co_await r.wait(s);
+  }
+}
+
+/// Gather to root: rank i's `bytes` land at offset i*bytes of root's recvbuf.
+template <class RankT>
+sim::FutureTask gather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                       int root, int tag = kCollTagBase) {
+  const int n = r.size();
+  if (r.rank() == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    cuda::moveBytes(r.system(), out + static_cast<std::uint64_t>(root) * bytes, sendbuf, bytes);
+    std::vector<decltype(r.irecv(recvbuf, bytes, 0, 0))> reqs;
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;
+      reqs.push_back(r.irecv(out + static_cast<std::uint64_t>(i) * bytes, bytes, i, tag));
+    }
+    co_await r.waitAll(reqs);
+  } else {
+    co_await r.send(sendbuf, bytes, root, tag);
+  }
+}
+
+/// Scatter from root: block i of root's sendbuf lands in rank i's recvbuf.
+template <class RankT>
+sim::FutureTask scatter(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                        int root, int tag = kCollTagBase) {
+  const int n = r.size();
+  if (r.rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    cuda::moveBytes(r.system(), recvbuf, in + static_cast<std::uint64_t>(root) * bytes, bytes);
+    std::vector<decltype(r.isend(sendbuf, bytes, 0, 0))> reqs;
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;
+      reqs.push_back(r.isend(in + static_cast<std::uint64_t>(i) * bytes, bytes, i, tag));
+    }
+    co_await r.waitAll(reqs);
+  } else {
+    co_await r.recv(recvbuf, bytes, root, tag);
+  }
+}
+
+}  // namespace cux::coll

@@ -1,0 +1,98 @@
+#include "core/device_comm.hpp"
+
+#include <cassert>
+
+namespace cux::core {
+
+DeviceComm::DeviceComm(cmi::Converse& cmi)
+    : cmi_(cmi), counters_(static_cast<std::size_t>(cmi.numPes()), 0) {}
+
+void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
+                                std::function<void()> on_complete) {
+  const TagScheme& tags = cmi_.tags();
+  assert(static_cast<std::uint64_t>(src_pe) <= tags.maxPe() &&
+         "source PE does not fit in PE_BITS; adjust the tag scheme split");
+  auto& counter = counters_[static_cast<std::size_t>(src_pe)];
+  const bool is_device = cmi_.system().memory.isDevice(buf.ptr);
+  const MsgType type = is_device ? MsgType::Device : MsgType::ZcopyHost;
+  buf.tag = tags.make(type, static_cast<std::uint64_t>(src_pe), counter);
+  counter = (counter + 1) % tags.cntModulus();
+  ++device_sends_;
+
+  cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
+                             dst_pe, buf.size, buf.tag,
+                             type == MsgType::Device ? "device" : "zcopy-host");
+  // Machine-layer bookkeeping (tag generation, request allocation) is PE
+  // time on the sender; the UCX send is issued once that work retires.
+  // Zero-copy host sends additionally pin/register the user buffer.
+  cmi::Pe& pe = cmi_.pe(src_pe);
+  pe.charge(sim::usec(cmi_.costs().device_meta_send_us +
+                      (type == MsgType::ZcopyHost ? cmi_.costs().zcopy_reg_us : 0.0)));
+  const void* ptr = buf.ptr;
+  const std::uint64_t size = buf.size;
+  const std::uint64_t tag = buf.tag;
+  cmi_.inject(src_pe, [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
+    cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
+      if (cb) {
+        cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+      }
+    });
+  });
+}
+
+void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
+                                       std::uint64_t user_tag,
+                                       std::function<void()> on_complete) {
+  const TagScheme& tags = cmi_.tags();
+  // The whole PE+CNT field carries the user tag; uniqueness is the caller's
+  // contract (as it would be with MPI tags).
+  buf.tag = tags.make(MsgType::DeviceUser, user_tag >> tags.cnt_bits, user_tag);
+  ++device_sends_;
+  cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
+                             dst_pe, buf.size, buf.tag, "device-user-tag");
+  cmi::Pe& pe = cmi_.pe(src_pe);
+  pe.charge(sim::usec(cmi_.costs().device_meta_send_us));
+  const void* ptr = buf.ptr;
+  const std::uint64_t size = buf.size;
+  const std::uint64_t tag = buf.tag;
+  cmi_.system().engine.schedule(
+      pe.busyUntil(), [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
+        cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
+          if (cb) {
+            cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+          }
+        });
+      });
+}
+
+void DeviceComm::lrtsRecvDeviceUserTag(int pe_id, void* dst, std::uint64_t size,
+                                       std::uint64_t user_tag, DeviceRecvType type,
+                                       std::function<void()> on_complete) {
+  const TagScheme& tags = cmi_.tags();
+  DeviceRdmaOp op;
+  op.dst = dst;
+  op.size = size;
+  op.tag = tags.make(MsgType::DeviceUser, user_tag >> tags.cnt_bits, user_tag);
+  lrtsRecvDevice(pe_id, op, type, std::move(on_complete));
+}
+
+void DeviceComm::lrtsRecvDevice(int pe_id, const DeviceRdmaOp& op, DeviceRecvType type,
+                                std::function<void()> on_complete) {
+  ++recvs_by_type_[static_cast<std::size_t>(type)];
+  cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsRecv, pe_id, -1,
+                             op.size, op.tag, "");
+  cmi::Pe& pe = cmi_.pe(pe_id);
+  pe.charge(sim::usec(cmi_.costs().device_meta_recv_us));
+  cmi_.system().engine.schedule(
+      pe.busyUntil(), [this, pe_id, op, cb = std::move(on_complete)] {
+        cmi_.ucx().worker(pe_id).tagRecv(
+            op.dst, op.size, op.tag, ucx::kFullMask,
+            [this, pe_id, cb](ucx::Request&) {
+              if (cb) {
+                cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
+              }
+            });
+      });
+}
+
+}  // namespace cux::core

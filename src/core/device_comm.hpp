@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "converse/converse.hpp"
+#include "core/tag_scheme.hpp"
+
+/// \file device_comm.hpp
+/// The paper's primary contribution: the GPU-aware extension of the UCX
+/// machine layer (Section III-A).
+///
+/// LrtsSendDevice sends a GPU (or large zero-copy host) buffer with the UCP
+/// tagged API under a machine-generated tag; the tag is returned to the
+/// calling layer so it can travel inside the host-side metadata message.
+/// LrtsRecvDevice posts the matching receive once the metadata has arrived
+/// and the destination buffer is known. DeviceRecvType records which
+/// programming model posted the receive so the right handler runs on
+/// completion — here that dispatch is a per-operation completion callback,
+/// with the enum preserved for accounting.
+
+namespace cux::core {
+
+/// Converse-layer metadata describing one in-flight GPU buffer transfer
+/// (paper Fig. 5). The Charm++ core wraps this with a callback as
+/// CkDeviceBuffer.
+struct CmiDeviceBuffer {
+  const void* ptr = nullptr;  ///< source buffer address (sender side)
+  std::uint64_t size = 0;
+  std::uint64_t tag = 0;  ///< set by the UCX machine layer on send
+};
+
+/// Receive descriptor passed to LrtsRecvDevice (paper Section III-A).
+struct DeviceRdmaOp {
+  void* dst = nullptr;
+  std::uint64_t size = 0;
+  std::uint64_t tag = 0;
+};
+
+enum class DeviceRecvType : std::uint8_t { Charm, Ampi, Charm4py, Raw };
+
+class DeviceComm {
+ public:
+  explicit DeviceComm(cmi::Converse& cmi);
+
+  [[nodiscard]] cmi::Converse& converse() noexcept { return cmi_; }
+
+  /// LrtsSendDevice: generates the tag (incrementing the per-PE counter),
+  /// sends the buffer through UCX, and reports the tag through `buf.tag` so
+  /// the caller can ship it in the metadata message. `on_complete` fires on
+  /// the sender PE when the buffer is safe to reuse.
+  void lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
+                      std::function<void()> on_complete = {});
+
+  /// LrtsRecvDevice: posts the receive for an incoming GPU/zero-copy buffer.
+  /// `on_complete` fires on `pe` when the data has fully arrived.
+  void lrtsRecvDevice(int pe, const DeviceRdmaOp& op, DeviceRecvType type,
+                      std::function<void()> on_complete);
+
+  /// CmiSendDevice: thin Converse-level wrapper over LrtsSendDevice
+  /// (paper Figs. 6/7/9 show it between the model layer and the machine
+  /// layer).
+  void cmiSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
+                     std::function<void()> on_complete = {}) {
+    lrtsSendDevice(src_pe, dst_pe, buf, std::move(on_complete));
+  }
+
+  // --- user-provided tags (paper Sec. VI improvement) ----------------------
+  // "supporting user-provided tags in the Charm++ runtime system ... would
+  // eliminate the need to delay the posting of the receive for GPU data
+  // until the arrival of the metadata message." Both sides derive the
+  // machine tag from an application-agreed value, so the receiver can post
+  // BEFORE any metadata exchange; the rendezvous starts the moment the RTS
+  // lands. The user tag must be unique among in-flight transfers to a PE.
+
+  /// Sends under tag MsgType::DeviceUser | user_tag (low 60 bits).
+  void lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
+                             std::uint64_t user_tag, std::function<void()> on_complete = {});
+
+  /// Pre-posts the receive for a user-tagged transfer; callable before the
+  /// sender has even initiated it.
+  void lrtsRecvDeviceUserTag(int pe, void* dst, std::uint64_t size, std::uint64_t user_tag,
+                             DeviceRecvType type, std::function<void()> on_complete);
+
+  // --- accounting ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t sendsByType(DeviceRecvType t) const {
+    return recvs_by_type_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint64_t deviceSends() const noexcept { return device_sends_; }
+
+ private:
+  cmi::Converse& cmi_;
+  std::vector<std::uint64_t> counters_;  // per-PE tag counters
+  std::uint64_t device_sends_ = 0;
+  std::uint64_t recvs_by_type_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace cux::core

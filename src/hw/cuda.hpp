@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "hw/system.hpp"
+#include "sim/future.hpp"
+#include "sim/time.hpp"
+
+/// \file cuda.hpp
+/// CUDA runtime shim over the simulated hardware.
+///
+/// Provides the subset of CUDA the paper's code paths exercise: device
+/// allocation, in-order streams, asynchronous memcpy in all four directions,
+/// kernel launches with a caller-supplied cost, and stream synchronisation.
+/// Semantics match CUDA: API calls return immediately (their fixed CPU cost
+/// is modelled inside the op timeline), ops on one stream execute in order,
+/// and H2D/D2H copies contend for the GPU's NVLink brick with any concurrent
+/// communication — which is exactly the resource pressure the host-staging
+/// (-H) benchmark variants pay for.
+
+namespace cux::cuda {
+
+enum class MemcpyKind { HostToHost, HostToDevice, DeviceToHost, DeviceToDevice };
+
+/// Allocates simulated device memory on GPU `device` (global index == PE in
+/// the paper's one-process-per-GPU configuration). `backed` overrides the
+/// machine default: true = real bytes (tests), false = address space only.
+void* deviceAlloc(hw::System& sys, int device, std::size_t size);
+void* deviceAlloc(hw::System& sys, int device, std::size_t size, bool backed);
+void deviceFree(hw::System& sys, void* p);
+
+/// RAII device buffer.
+class DeviceBuffer {
+ public:
+  DeviceBuffer(hw::System& sys, int device, std::size_t size)
+      : sys_(&sys), ptr_(deviceAlloc(sys, device, size)), size_(size) {}
+  DeviceBuffer(hw::System& sys, int device, std::size_t size, bool backed)
+      : sys_(&sys), ptr_(deviceAlloc(sys, device, size, backed)), size_(size) {}
+  ~DeviceBuffer() {
+    if (ptr_ != nullptr) deviceFree(*sys_, ptr_);
+  }
+  DeviceBuffer(DeviceBuffer&& o) noexcept : sys_(o.sys_), ptr_(o.ptr_), size_(o.size_) {
+    o.ptr_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      if (ptr_ != nullptr) deviceFree(*sys_, ptr_);
+      sys_ = o.sys_;
+      ptr_ = o.ptr_;
+      size_ = o.size_;
+      o.ptr_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  [[nodiscard]] void* get() const noexcept { return ptr_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  template <class T>
+  [[nodiscard]] T* as() const noexcept {
+    return static_cast<T*>(ptr_);
+  }
+
+ private:
+  hw::System* sys_;
+  void* ptr_;
+  std::size_t size_;
+};
+
+/// In-order execution stream bound to one GPU.
+class Stream {
+ public:
+  Stream(hw::System& sys, int device) : sys_(sys), device_(device) {}
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] int device() const noexcept { return device_; }
+
+  /// Enqueues an asynchronous copy. Bytes actually move (when both sides are
+  /// dereferenceable) at op completion time, so overlapping compute observes
+  /// CUDA's deferred-visibility semantics.
+  void memcpyAsync(void* dst, const void* src, std::size_t bytes, MemcpyKind kind);
+
+  /// Enqueues a kernel costing `cost` of device time; `body` (may be empty)
+  /// runs at completion and performs the kernel's effect on backed memory.
+  void launch(sim::Duration cost, std::function<void()> body = {});
+
+  /// Future fulfilled when every op enqueued so far has completed (plus the
+  /// fixed synchronisation overhead).
+  [[nodiscard]] sim::Future<void> synchronize();
+
+  /// True when no enqueued work remains.
+  [[nodiscard]] bool idle() const noexcept { return !busy_; }
+
+ private:
+  struct Op {
+    // Returns completion time given the op's start time.
+    std::function<sim::TimePoint(sim::TimePoint)> timing;
+    std::function<void()> effect;  // runs at completion
+    sim::Promise<void> done;
+  };
+
+  void enqueue(Op op);
+  void kick();
+
+  hw::System& sys_;
+  int device_;
+  std::deque<Op> ops_;
+  bool busy_ = false;
+};
+
+/// Classifies a (dst, src) pointer pair the way cudaMemcpyDefault would.
+MemcpyKind inferKind(hw::System& sys, const void* dst, const void* src);
+
+/// Performs the byte movement for a completed copy if both ends are
+/// dereferenceable (exposed for the UCX transports, which share the rule).
+void moveBytes(hw::System& sys, void* dst, const void* src, std::size_t bytes);
+
+}  // namespace cux::cuda

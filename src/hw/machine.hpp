@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+/// \file machine.hpp
+/// Link-level model of the simulated cluster.
+///
+/// Every physical resource that serialises data movement (an NVLink brick
+/// direction, the X-Bus, a NIC direction, the per-node shared-memory copy
+/// engine) is a Link with FIFO occupancy: a transfer reserves the link from
+/// max(now, link.free) for bytes/bandwidth, so concurrent transfers contend
+/// and chunked transfers pipeline across consecutive links naturally.
+
+namespace cux::hw {
+
+/// One direction of a physical link.
+class Link {
+ public:
+  Link(std::string name, LinkParams p) : name_(std::move(name)), params_(p) {}
+
+  /// Reserves the link for `bytes` starting no earlier than `now`.
+  /// Returns the time at which the last byte has traversed the link
+  /// (start + latency + bytes/bandwidth).
+  sim::TimePoint reserve(sim::TimePoint now, std::uint64_t bytes) {
+    sim::TimePoint start = now > free_ ? now : free_;
+    sim::Duration busy = sim::transferTime(bytes, params_.bandwidth_gbps);
+    free_ = start + busy;
+    return start + sim::usec(params_.latency_us) + busy;
+  }
+
+  /// Earliest time a new transfer could start moving bytes.
+  [[nodiscard]] sim::TimePoint freeAt() const noexcept { return free_; }
+
+  /// Directly extends the link's occupancy; used by the wormhole transfer
+  /// model which computes start times itself.
+  void setFreeAt(sim::TimePoint t) noexcept {
+    if (t > free_) free_ = t;
+  }
+  [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void reset() noexcept { free_ = 0; }
+
+ private:
+  std::string name_;
+  LinkParams params_;
+  sim::TimePoint free_ = 0;
+};
+
+/// Identifies a GPU across the whole machine.
+struct GpuId {
+  int node = 0;
+  int local = 0;  ///< index within the node
+
+  friend bool operator==(const GpuId&, const GpuId&) = default;
+};
+
+/// An ordered sequence of links data crosses, store-and-forward.
+using Path = std::vector<Link*>;
+
+/// A serially-shared execution resource (e.g. a GPU's SM array): work items
+/// occupy it back to back regardless of which stream issued them.
+class Resource {
+ public:
+  /// Occupies the resource for `duration` starting no earlier than `now`;
+  /// returns the completion time.
+  sim::TimePoint reserve(sim::TimePoint now, sim::Duration duration) {
+    const sim::TimePoint start = now > free_ ? now : free_;
+    free_ = start + duration;
+    return free_;
+  }
+  [[nodiscard]] sim::TimePoint freeAt() const noexcept { return free_; }
+  void reset() noexcept { free_ = 0; }
+
+ private:
+  sim::TimePoint free_ = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] GpuId gpuOfPe(int pe) const noexcept {
+    return GpuId{pe / cfg_.gpus_per_node, pe % cfg_.gpus_per_node};
+  }
+  [[nodiscard]] int nodeOfPe(int pe) const noexcept { return pe / cfg_.gpus_per_node; }
+  [[nodiscard]] bool sameNode(int pe_a, int pe_b) const noexcept {
+    return nodeOfPe(pe_a) == nodeOfPe(pe_b);
+  }
+
+  // --- link accessors ----------------------------------------------------
+  /// GPU -> socket hub direction of a GPU's NVLink brick (device-to-host and
+  /// peer-to-peer egress share this resource).
+  [[nodiscard]] Link& gpuUp(GpuId g) { return links_[gpuUpIdx(g)]; }
+  /// Socket hub -> GPU direction (host-to-device and peer ingress).
+  [[nodiscard]] Link& gpuDown(GpuId g) { return links_[gpuDownIdx(g)]; }
+  /// X-Bus direction from socket `from_socket` on `node`.
+  [[nodiscard]] Link& xbus(int node, int from_socket) { return links_[xbusIdx(node, from_socket)]; }
+  /// NIC injection (node -> fabric).
+  [[nodiscard]] Link& nicUp(int node) { return links_[nicUpIdx(node)]; }
+  /// NIC ejection (fabric -> node).
+  [[nodiscard]] Link& nicDown(int node) { return links_[nicDownIdx(node)]; }
+  /// Per-node host shared-memory copy engine (CMA / user-space shm).
+  [[nodiscard]] Link& shm(int node) { return links_[shmIdx(node)]; }
+  /// Per-GPU compute engine: kernels from any stream of the device
+  /// serialise on it (one SM array per GPU).
+  [[nodiscard]] Resource& gpuCompute(GpuId g) {
+    return compute_[static_cast<std::size_t>(g.node * cfg_.gpus_per_node + g.local)];
+  }
+
+  // --- path construction ---------------------------------------------------
+  /// Direct GPU-to-GPU path (NVLink peer, possibly through X-Bus, or staged
+  /// through both NICs inter-node). This is what CUDA-IPC-style transports
+  /// and GPUDirect-style transfers traverse.
+  [[nodiscard]] Path deviceToDevicePath(int src_pe, int dst_pe);
+
+  /// Host-memory-to-host-memory path between two PEs (shared memory within a
+  /// node, NIC-to-NIC across nodes).
+  [[nodiscard]] Path hostToHostPath(int src_pe, int dst_pe);
+
+  /// Device-to-host-staging path on the sender side (GPU egress only), and
+  /// its mirror on the receiver; used for pipelined rendezvous staging.
+  [[nodiscard]] Path deviceEgressPath(int pe) { return {&gpuUp(gpuOfPe(pe))}; }
+  [[nodiscard]] Path deviceIngressPath(int pe) { return {&gpuDown(gpuOfPe(pe))}; }
+
+  /// Moves `bytes` across `path` starting no earlier than `now` and returns
+  /// the arrival time of the last byte at the path's end.
+  ///
+  /// Uses a wormhole/cut-through approximation: the head of the message
+  /// proceeds to link i+1 after link i's latency, each link is occupied for
+  /// bytes/bandwidth starting when the head reaches it (FIFO per link), and
+  /// the tail cannot arrive before the slowest link has drained. A single
+  /// network hop therefore costs sum(latencies) + bytes/min(bandwidth), not
+  /// the store-and-forward sum of serialised transfers.
+  sim::TimePoint transfer(const Path& path, sim::TimePoint now, std::uint64_t bytes);
+
+  /// Sum of per-link latencies along a path (zero-byte traversal time).
+  [[nodiscard]] static sim::Duration pathLatency(const Path& path);
+
+  /// Traversal time of a small control message (RTS/CTS/ATS headers) along
+  /// `path`: latency plus serialisation, WITHOUT occupying the links. Control
+  /// traffic is tens of bytes; reserving link occupancy for it — especially
+  /// at future timestamps, as rendezvous acknowledgements would — distorts
+  /// the FIFO occupancy model far more than the bytes themselves justify.
+  [[nodiscard]] static sim::TimePoint ctrlTransfer(const Path& path, sim::TimePoint now,
+                                                   std::uint64_t bytes);
+
+  void resetOccupancy();
+
+ private:
+  [[nodiscard]] std::size_t gpuUpIdx(GpuId g) const noexcept;
+  [[nodiscard]] std::size_t gpuDownIdx(GpuId g) const noexcept;
+  [[nodiscard]] std::size_t xbusIdx(int node, int from_socket) const noexcept;
+  [[nodiscard]] std::size_t nicUpIdx(int node) const noexcept;
+  [[nodiscard]] std::size_t nicDownIdx(int node) const noexcept;
+  [[nodiscard]] std::size_t shmIdx(int node) const noexcept;
+
+  MachineConfig cfg_;
+  std::vector<Link> links_;
+  std::vector<Resource> compute_;  ///< one per GPU
+};
+
+}  // namespace cux::hw

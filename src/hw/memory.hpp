@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+/// \file memory.hpp
+/// Simulated device memory and pointer classification.
+///
+/// Mirrors what cudaPointerGetAttributes provides on a real system: given an
+/// arbitrary pointer, decide whether it lives on a (simulated) GPU and which
+/// one. Device allocations come in two flavours:
+///
+/// * **backed** — real host memory stands in for device memory, so copies
+///   move actual bytes and tests can verify end-to-end data integrity;
+/// * **unbacked** — PROT_NONE address-space reservations with no physical
+///   pages, used by the large-scale figure benches where the paper's domains
+///   (e.g. 3072^3 doubles) would need terabytes. Timing is identical; only
+///   the byte movement is skipped.
+
+namespace cux::hw {
+
+enum class MemSpace { Host, Device };
+
+struct Region {
+  std::uintptr_t base = 0;
+  std::size_t size = 0;
+  MemSpace space = MemSpace::Device;
+  int device = -1;      ///< global GPU index (pe number in the 1-PE-per-GPU setup)
+  bool backed = false;  ///< true when the address range is dereferenceable
+};
+
+class MemoryRegistry {
+ public:
+  MemoryRegistry() = default;
+  ~MemoryRegistry();
+  MemoryRegistry(const MemoryRegistry&) = delete;
+  MemoryRegistry& operator=(const MemoryRegistry&) = delete;
+
+  /// Allocates `size` bytes of simulated device memory on GPU `device`.
+  void* allocDevice(int device, std::size_t size, bool backed);
+
+  /// Allocates an *unbacked* host-space region: address space that classifies
+  /// as host memory but is never dereferenced. The large-scale benches use
+  /// this for host staging buffers whose paper-sized footprint (hundreds of
+  /// GB across 1536 simulated PEs) could not be physically allocated.
+  void* allocHostUnbacked(std::size_t size);
+
+  /// Releases a pointer returned by allocDevice()/allocHostUnbacked().
+  /// Passing any other pointer is a precondition violation (asserts in debug
+  /// builds).
+  void freeDevice(void* p);
+
+  /// Region containing `p`, or nullptr for ordinary host memory.
+  [[nodiscard]] const Region* find(const void* p) const;
+
+  [[nodiscard]] bool isDevice(const void* p) const {
+    const Region* r = find(p);
+    return r != nullptr && r->space == MemSpace::Device;
+  }
+  [[nodiscard]] MemSpace spaceOf(const void* p) const {
+    return isDevice(p) ? MemSpace::Device : MemSpace::Host;
+  }
+
+  /// GPU index owning `p`, or -1 for host memory.
+  [[nodiscard]] int deviceOf(const void* p) const {
+    const Region* r = find(p);
+    return (r != nullptr && r->space == MemSpace::Device) ? r->device : -1;
+  }
+
+  /// True when `p` may actually be read/written: host memory or a backed
+  /// device region. The data-movement layer consults this before memcpy.
+  [[nodiscard]] bool dereferenceable(const void* p) const {
+    const Region* r = find(p);
+    return r == nullptr || r->backed;
+  }
+
+  [[nodiscard]] std::size_t liveAllocations() const noexcept { return regions_.size(); }
+  [[nodiscard]] std::uint64_t bytesAllocated() const noexcept { return bytes_allocated_; }
+
+ private:
+  std::map<std::uintptr_t, Region> regions_;  // keyed by base address
+  std::uint64_t bytes_allocated_ = 0;
+};
+
+}  // namespace cux::hw

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/machine.hpp"
+#include "hw/memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+/// \file system.hpp
+/// Bundles the event engine, link model and memory registry that every layer
+/// above (CUDA shim, mini-UCX, Converse, the programming models) shares.
+
+namespace cux::hw {
+
+struct System {
+  MachineConfig config;
+  sim::Engine engine;
+  Machine machine;
+  MemoryRegistry memory;
+  sim::Tracer trace;  ///< off by default; enable() to record timelines
+
+  explicit System(const MachineConfig& cfg = {}) : config(cfg), machine(config) {}
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] sim::TimePoint now() const noexcept { return engine.now(); }
+};
+
+}  // namespace cux::hw

@@ -1,0 +1,117 @@
+#include "ompi/ompi.hpp"
+
+#include <cassert>
+
+namespace cux::ompi {
+
+namespace {
+constexpr int kInternalTagBase = 1 << 30;
+}
+
+int Rank::size() const { return world_->size(); }
+hw::System& Rank::system() const { return world_->system(); }
+double Rank::timeUs() const { return sim::toUs(world_->system().engine.now()); }
+
+World::World(hw::System& sys, ucx::Context& ucx, const model::LayerCosts& costs)
+    : sys_(sys), ucx_(ucx), costs_(costs) {
+  const int n = sys.config.numPes();
+  ranks_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->self.world_ = this;
+    st->self.rank_ = r;
+    st->cpu = std::make_unique<cmi::Pe>(sys.engine, r);
+    ranks_.push_back(std::move(st));
+  }
+}
+
+void World::run(std::function<sim::FutureTask(Rank&)> main) {
+  // Rank coroutine frames reference the closure object for their whole
+  // lifetime; keep the callable alive in the World (see ampi::World::run).
+  main_ = std::move(main);
+  auto remaining = std::make_shared<int>(size());
+  for (auto& st : ranks_) {
+    Rank* rank = &st->self;
+    sys_.engine.schedule(sys_.engine.now(), [this, rank, remaining] {
+      main_(*rank).future().onReady([this, remaining] {
+        if (--*remaining == 0) done_.set();
+      });
+    });
+  }
+}
+
+Request Rank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  assert(dst >= 0 && dst < world_->size());
+  auto& st = *world_->ranks_[static_cast<std::size_t>(rank_)];
+  st.cpu->charge(sim::usec(world_->costs_.ompi_call_us));
+  Request req;
+  auto impl = req.impl_;
+  const Status sent{rank_, tag, bytes};
+  const ucx::Tag utag = detail::encodeTag(rank_, tag);
+  const int src_rank = rank_;
+  // Inject once the call's CPU time has retired.
+  world_->sys_.engine.schedule(
+      st.cpu->busyUntil(), [this, src_rank, dst, buf, bytes, utag, impl, sent] {
+        world_->ucx_.tagSend(src_rank, dst, buf, bytes, utag,
+                             [impl, sent](ucx::Request&) { impl->complete(sent); });
+      });
+  return req;
+}
+
+Request Rank::irecv(void* buf, std::uint64_t bytes, int src, int tag) {
+  auto& st = *world_->ranks_[static_cast<std::size_t>(rank_)];
+  st.cpu->charge(sim::usec(world_->costs_.ompi_call_us));
+  Request req;
+  auto impl = req.impl_;
+  const ucx::Tag utag = detail::encodeTag(src == kAnySource ? 0 : src, tag == kAnyTag ? 0 : tag);
+  const ucx::Tag mask = detail::matchMask(src, tag);
+  const int me = rank_;
+  world_->sys_.engine.schedule(st.cpu->busyUntil(), [this, me, buf, bytes, utag, mask, impl] {
+    world_->ucx_.worker(me).tagRecv(buf, bytes, utag, mask, [impl](ucx::Request& r) {
+      impl->complete(Status{detail::srcOfTag(r.matched_tag), detail::userTagOf(r.matched_tag),
+                            r.bytes});
+    });
+  });
+  return req;
+}
+
+sim::Future<void> Rank::recv(void* buf, std::uint64_t bytes, int src, int tag, Status* st) {
+  Request r = irecv(buf, bytes, src, tag);
+  if (st != nullptr) {
+    r.future().onReady([r, st] { *st = r.status(); });
+  }
+  return r.future();
+}
+
+sim::Future<void> Rank::waitAll(const std::vector<Request>& rs) {
+  std::vector<sim::Future<void>> fs;
+  fs.reserve(rs.size());
+  for (const Request& r : rs) fs.push_back(r.future());
+  return sim::allOf(fs);
+}
+
+sim::Future<void> Rank::barrier() {
+  sim::Promise<void> done;
+  (void)world_->barrierTask(rank_, done);
+  return done.future();
+}
+
+sim::FutureTask World::barrierTask(int rank, sim::Promise<void> done) {
+  auto& st = *ranks_[static_cast<std::size_t>(rank)];
+  const std::uint64_t phase = st.barrier_phase++;
+  const int n = size();
+  Rank& self = st.self;
+  int round = 0;
+  for (int d = 1; d < n; d <<= 1, ++round) {
+    const int to = (rank + d) % n;
+    const int from = (rank - d + n) % n;
+    const int tag = kInternalTagBase + static_cast<int>(phase % 1024) * 64 + round;
+    Request s = self.isend(nullptr, 0, to, tag);
+    Request r = self.irecv(nullptr, 0, from, tag);
+    co_await self.wait(r);
+    co_await self.wait(s);
+  }
+  done.set();
+}
+
+}  // namespace cux::ompi

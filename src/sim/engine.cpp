@@ -1,0 +1,71 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace cux::sim {
+
+EventId Engine::schedule(TimePoint t, Callback cb) {
+  if (t < now_) t = now_;
+  EventId id = next_seq_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  pending_.insert(id);
+  ++live_events_;
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;  // never scheduled, fired, or already cancelled
+  pending_.erase(it);
+  cancelled_.insert(id);
+  --live_events_;
+  return true;
+}
+
+bool Engine::popAndRun() {
+  while (!queue_.empty()) {
+    // Move the callback out before popping so reentrant schedule() calls from
+    // inside the callback cannot invalidate it.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_.erase(ev.id);
+    --live_events_;
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && popAndRun()) {
+  }
+}
+
+bool Engine::runUntil(TimePoint t) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Skip cancelled heads without advancing time past t.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty()) return true;
+    if (queue_.top().time > t) {
+      now_ = t;
+      return false;
+    }
+    popAndRun();
+  }
+  return queue_.empty();
+}
+
+bool Engine::step() { return popAndRun(); }
+
+}  // namespace cux::sim

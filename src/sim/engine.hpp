@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file engine.hpp
+/// Single-threaded discrete-event simulation engine.
+///
+/// Every component of the reproduction (network links, CUDA streams, PE
+/// schedulers, UCX protocol state machines) advances virtual time by
+/// scheduling callbacks here. Determinism guarantee: events with equal
+/// timestamps fire in scheduling order (a monotonically increasing sequence
+/// number breaks ties), so repeated runs produce identical traces.
+
+namespace cux::sim {
+
+/// Identifier of a scheduled event; usable with Engine::cancel().
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `t` (clamped to now()).
+  EventId schedule(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `delay` nanoseconds of virtual time.
+  EventId after(Duration delay, Callback cb) { return schedule(now_ + delay, std::move(cb)); }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op and returns false.
+  bool cancel(EventId id);
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs until virtual time would exceed `t`; remaining events stay queued.
+  /// Returns true if the queue drained before reaching `t`.
+  bool runUntil(TimePoint t);
+
+  /// Executes exactly one event if available; returns false on empty queue.
+  bool step();
+
+  /// Requests run()/runUntil() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t eventsScheduled() const noexcept { return next_seq_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool popAndRun();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_;    // ids currently in queue_, not cancelled
+  std::unordered_set<EventId> cancelled_;  // ids in queue_ whose callback must be skipped
+  TimePoint now_ = 0;
+  EventId next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t live_events_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace cux::sim

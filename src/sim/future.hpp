@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// \file future.hpp
+/// Single-threaded simulation futures.
+///
+/// These deliberately do NOT involve threads or atomics: the whole simulated
+/// machine runs on one OS thread inside the event engine, so a future is just
+/// a shared completion flag plus a list of continuations (both plain
+/// callbacks and suspended coroutines). Fulfilling a future resumes waiters
+/// synchronously at the current virtual time; callers that need a scheduling
+/// delay model it explicitly before calling set().
+///
+/// This is the same abstraction Charm4py exposes to Python programs [17] and
+/// what the channel API suspends on.
+
+namespace cux::sim {
+
+template <class T>
+class Future;
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  std::optional<T> value;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::function<void(const T&)>> callbacks;
+
+  [[nodiscard]] bool ready() const noexcept { return value.has_value(); }
+
+  void fulfil(T v) {
+    assert(!ready() && "future fulfilled twice");
+    value.emplace(std::move(v));
+    auto cbs = std::move(callbacks);
+    auto ws = std::move(waiters);
+    for (auto& cb : cbs) cb(*value);
+    for (auto h : ws) h.resume();
+  }
+};
+
+template <>
+struct FutureState<void> {
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<std::function<void()>> callbacks;
+
+  [[nodiscard]] bool ready() const noexcept { return done; }
+
+  void fulfil() {
+    assert(!done && "future fulfilled twice");
+    done = true;
+    auto cbs = std::move(callbacks);
+    auto ws = std::move(waiters);
+    for (auto& cb : cbs) cb();
+    for (auto h : ws) h.resume();
+  }
+};
+
+}  // namespace detail
+
+/// Write end of a future. Copyable; all copies refer to the same state.
+template <class T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  [[nodiscard]] Future<T> future() const noexcept;
+
+  void set(T v) const { state_->fulfil(std::move(v)); }
+  [[nodiscard]] bool ready() const noexcept { return state_->ready(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <>
+class Promise<void> {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<void>>()) {}
+
+  [[nodiscard]] Future<void> future() const noexcept;
+
+  void set() const { state_->fulfil(); }
+  [[nodiscard]] bool ready() const noexcept { return state_->ready(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<void>> state_;
+};
+
+/// Read end of a future: awaitable from coroutines, or subscribe a callback.
+template <class T>
+class Future {
+ public:
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool ready() const noexcept { return state_->ready(); }
+
+  /// The fulfilled value; only valid once ready().
+  [[nodiscard]] const T& get() const {
+    assert(ready());
+    return *state_->value;
+  }
+
+  /// Runs `cb` when the future completes (immediately if already complete).
+  void onReady(std::function<void(const T&)> cb) const {
+    if (state_->ready()) {
+      cb(*state_->value);
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  // --- coroutine support -----------------------------------------------
+  bool await_ready() const noexcept { return state_->ready(); }
+  void await_suspend(std::coroutine_handle<> h) const { state_->waiters.push_back(h); }
+  T await_resume() const { return *state_->value; }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <>
+class Future<void> {
+ public:
+  explicit Future(std::shared_ptr<detail::FutureState<void>> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool ready() const noexcept { return state_->ready(); }
+
+  void onReady(std::function<void()> cb) const {
+    if (state_->ready()) {
+      cb();
+    } else {
+      state_->callbacks.push_back(std::move(cb));
+    }
+  }
+
+  bool await_ready() const noexcept { return state_->ready(); }
+  void await_suspend(std::coroutine_handle<> h) const { state_->waiters.push_back(h); }
+  void await_resume() const noexcept {}
+
+ private:
+  std::shared_ptr<detail::FutureState<void>> state_;
+};
+
+template <class T>
+Future<T> Promise<T>::future() const noexcept {
+  return Future<T>{state_};
+}
+
+inline Future<void> Promise<void>::future() const noexcept { return Future<void>{state_}; }
+
+}  // namespace cux::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random numbers for workload generation.
+///
+/// std::mt19937 output sequences are standardised, but distribution
+/// implementations are not; SplitMix64 plus hand-rolled range reductions
+/// keeps generated workloads identical across standard libraries, which the
+/// property tests rely on.
+
+namespace cux::sim {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fills a byte range with reproducible data derived from the stream.
+  void fill(void* dst, std::uint64_t n) noexcept {
+    auto* p = static_cast<unsigned char*>(dst);
+    std::uint64_t i = 0;
+    while (i + 8 <= n) {
+      std::uint64_t v = next();
+      for (int b = 0; b < 8; ++b) p[i++] = static_cast<unsigned char>(v >> (8 * b));
+    }
+    if (i < n) {
+      std::uint64_t v = next();
+      for (int b = 0; b < 8 && i < n; ++b) p[i++] = static_cast<unsigned char>(v >> (8 * b));
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cux::sim

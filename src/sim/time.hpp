@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file time.hpp
+/// Virtual-time representation for the discrete-event engine.
+///
+/// All simulated latencies and bandwidth-derived durations are expressed in
+/// integer nanoseconds to keep event ordering exact and runs bit-reproducible
+/// (floating-point accumulation of microsecond values is *not* associative;
+/// integer nanoseconds are).
+
+namespace cux::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using TimePoint = std::uint64_t;
+
+/// Virtual duration in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Converts microseconds (the natural unit of the calibration constants) to
+/// a nanosecond duration, rounding to nearest.
+[[nodiscard]] constexpr Duration usec(double us) noexcept {
+  if (us <= 0.0) return 0;
+  return static_cast<Duration>(us * 1000.0 + 0.5);
+}
+
+/// Converts milliseconds to a nanosecond duration.
+[[nodiscard]] constexpr Duration msec(double ms) noexcept { return usec(ms * 1000.0); }
+
+/// Converts seconds to a nanosecond duration.
+[[nodiscard]] constexpr Duration sec(double s) noexcept { return usec(s * 1e6); }
+
+/// Converts a nanosecond duration/time back to microseconds for reporting.
+[[nodiscard]] constexpr double toUs(Duration d) noexcept { return static_cast<double>(d) / 1000.0; }
+
+/// Converts a nanosecond duration/time back to milliseconds for reporting.
+[[nodiscard]] constexpr double toMs(Duration d) noexcept { return static_cast<double>(d) / 1e6; }
+
+/// Converts a nanosecond duration/time back to seconds for reporting.
+[[nodiscard]] constexpr double toSec(Duration d) noexcept { return static_cast<double>(d) / 1e9; }
+
+/// Duration of moving `bytes` over a link sustaining `gbps` gigabytes/second
+/// (GB/s, decimal). Zero-byte transfers take zero time; the per-message
+/// latency is accounted for separately by the link model.
+[[nodiscard]] constexpr Duration transferTime(std::uint64_t bytes, double gbps) noexcept {
+  if (bytes == 0 || gbps <= 0.0) return 0;
+  // bytes / (gbps * 1e9 B/s) seconds = bytes / gbps ns.
+  return static_cast<Duration>(static_cast<double>(bytes) / gbps + 0.5);
+}
+
+}  // namespace cux::sim

@@ -1,0 +1,45 @@
+#include "sim/trace.hpp"
+
+namespace cux::sim {
+
+const char* name(TraceCat c) {
+  switch (c) {
+    case TraceCat::UcxSend:
+      return "ucx.send";
+    case TraceCat::UcxRecv:
+      return "ucx.recv";
+    case TraceCat::UcxRndv:
+      return "ucx.rndv";
+    case TraceCat::CmiSend:
+      return "cmi.send";
+    case TraceCat::CmiSched:
+      return "cmi.sched";
+    case TraceCat::LrtsSend:
+      return "lrts.send";
+    case TraceCat::LrtsRecv:
+      return "lrts.recv";
+    case TraceCat::Kernel:
+      return "kernel";
+    case TraceCat::User:
+      return "user";
+  }
+  return "?";
+}
+
+void Tracer::dumpCsv(std::ostream& os) const {
+  os << "time_us,category,pe,peer,bytes,tag,detail\n";
+  for (const TraceRecord& r : records_) {
+    os << toUs(r.time) << ',' << name(r.cat) << ',' << r.pe << ',' << r.peer << ',' << r.bytes
+       << ',' << r.tag << ',' << r.detail << '\n';
+  }
+}
+
+std::size_t Tracer::count(TraceCat c) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.cat == c) ++n;
+  }
+  return n;
+}
+
+}  // namespace cux::sim

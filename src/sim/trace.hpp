@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file trace.hpp
+/// Message-timeline tracing. When enabled on the System, the communication
+/// layers append one record per interesting event (send started, protocol
+/// chosen, data arrived, handler dispatched, ...), producing a timeline that
+/// can be dumped as CSV for debugging protocol behaviour or plotting
+/// message flows. Disabled by default: a single branch per event.
+
+namespace cux::sim {
+
+enum class TraceCat : std::uint8_t {
+  UcxSend,     ///< tagged send started (detail: protocol)
+  UcxRecv,     ///< receive completion
+  UcxRndv,     ///< rendezvous data transfer scheduled
+  CmiSend,     ///< Converse message sent
+  CmiSched,    ///< Converse handler dispatched
+  LrtsSend,    ///< machine-layer device/zcopy send
+  LrtsRecv,    ///< machine-layer receive posted
+  Kernel,      ///< GPU kernel
+  User,        ///< application-defined marker
+};
+
+[[nodiscard]] const char* name(TraceCat c);
+
+struct TraceRecord {
+  TimePoint time = 0;
+  TraceCat cat = TraceCat::User;
+  int pe = -1;
+  int peer = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;
+  const char* detail = "";  ///< static string only (no ownership)
+};
+
+class Tracer {
+ public:
+  /// Enables recording; `capacity` bounds memory (oldest records kept).
+  void enable(std::size_t capacity = 1 << 20) {
+    enabled_ = true;
+    capacity_ = capacity;
+    records_.reserve(capacity < 4096 ? capacity : 4096);
+  }
+  void disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(TimePoint t, TraceCat cat, int pe, int peer, std::uint64_t bytes,
+              std::uint64_t tag, const char* detail = "") {
+    if (!enabled_ || records_.size() >= capacity_) return;
+    records_.push_back(TraceRecord{t, cat, pe, peer, bytes, tag, detail});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// One line per record: time_us,category,pe,peer,bytes,tag,detail
+  void dumpCsv(std::ostream& os) const;
+
+  /// Number of records in a category (test/diagnostic helper).
+  [[nodiscard]] std::size_t count(TraceCat c) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace cux::sim

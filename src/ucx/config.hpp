@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file config.hpp
+/// Tunables of the mini-UCX layer: protocol thresholds and per-operation
+/// software costs. Calibration values and their provenance live in
+/// src/model/summit_model.cpp.
+
+namespace cux::ucx {
+
+struct UcxConfig {
+  /// Host-memory messages at or below this size use the eager protocol
+  /// (payload copied and shipped with the header); larger ones rendezvous.
+  std::size_t host_eager_threshold = 8192;
+
+  /// Device-memory messages at or below this size use the eager protocol via
+  /// the GDRCopy-style low-latency transport; larger ones rendezvous.
+  std::size_t device_eager_threshold = 4096;
+
+  /// Chunk size of the pipelined host-staging rendezvous used for inter-node
+  /// device transfers (UCX's cuda_copy pipeline).
+  std::size_t rndv_pipeline_chunk = 256 * 1024;
+
+  /// Sender-side software cost of ucp_tag_send_nb.
+  double send_overhead_us = 0.3;
+  /// Receiver-side matching/completion cost.
+  double recv_overhead_us = 0.3;
+  /// Processing cost of each rendezvous control message (RTS/CTS/ATS).
+  double rndv_handshake_us = 0.5;
+  /// Per-chunk staging-buffer management cost of the pipelined protocol;
+  /// occupies the NIC stage, capping effective device bandwidth below wire
+  /// speed (paper: ~10 of 12.5 GB/s).
+  double rndv_pipeline_overhead_us = 4.0;
+
+  /// Per-chunk cost of inter-node host rendezvous from unregistered
+  /// (pageable) memory: UCX stages through pre-registered bounce buffers,
+  /// and the copy into them shares the CPU with the NIC posting. This is why
+  /// the -H variants cannot reach wire speed even though EDR is the
+  /// bottleneck for both paths.
+  double host_rndv_chunk_overhead_us = 12.0;
+
+  /// Whether the GDRCopy library was detected. The paper notes (Sec. IV-B1)
+  /// that detection is essential for low small-message latency; when false,
+  /// small device messages are staged with cudaMemcpy instead (ablation).
+  bool gdrcopy_enabled = true;
+  /// GDRCopy BAR-mapped copy: very low latency, modest bandwidth.
+  double gdr_latency_us = 0.6;
+  double gdr_bandwidth_gbps = 6.0;
+
+  /// cudaMemcpy-based staging cost for small device messages when GDRCopy is
+  /// absent (call + copy-engine latency dominate).
+  double cuda_stage_latency_us = 6.0;
+
+  /// Size of the control/header portion accompanying every message.
+  std::size_t header_bytes = 64;
+};
+
+}  // namespace cux::ucx

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/system.hpp"
+#include "ucx/config.hpp"
+#include "ucx/request.hpp"
+#include "ucx/worker.hpp"
+
+/// \file context.hpp
+/// The mini-UCX application context (ucp_context): owns one Worker per PE
+/// and implements the send-side protocol selection.
+///
+/// Protocol matrix (mirrors UCX on Summit as described in Sec. IV-B1):
+///
+/// | memory | size                     | protocol                            |
+/// |--------|--------------------------|-------------------------------------|
+/// | host   | <= host_eager_threshold  | eager (copy-out, header+payload)    |
+/// | host   | larger                   | rendezvous zero-copy over host path |
+/// | device | <= device_eager_threshold| eager via GDRCopy (or cudaMemcpy    |
+/// |        |                          | staging when GDRCopy not detected)  |
+/// | device | larger, intra-node       | rendezvous via CUDA-IPC direct path |
+/// | device | larger, inter-node       | rendezvous, pipelined host staging  |
+
+namespace cux::ucx {
+
+class Context {
+ public:
+  Context(hw::System& sys, const UcxConfig& cfg);
+
+  [[nodiscard]] hw::System& system() noexcept { return sys_; }
+  [[nodiscard]] const UcxConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int numWorkers() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Worker bound to PE `pe` (one per PE, created eagerly at construction).
+  [[nodiscard]] Worker& worker(int pe) { return *workers_.at(static_cast<std::size_t>(pe)); }
+
+  /// Non-blocking tagged send of `len` bytes at `buf` (host or device
+  /// memory; classification decides the protocol) from `src_pe` to `dst_pe`.
+  /// `buf` must remain valid until `cb` fires.
+  RequestPtr tagSend(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                     CompletionFn cb);
+
+  /// Active-message-style send whose payload is an owned byte vector
+  /// (Converse host messages). Timing matches tagSend on host memory of the
+  /// same size; the payload vector is handed to the receiving handler.
+  RequestPtr amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byte> payload,
+                    CompletionFn cb = {});
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t sendsStarted() const noexcept { return sends_started_; }
+  [[nodiscard]] std::uint64_t bytesSent() const noexcept { return bytes_sent_; }
+
+ private:
+  friend class Worker;
+
+  /// Sender-side staging cost for a small device buffer (GDRCopy or
+  /// cudaMemcpy fallback); also used on the receive side for un-staging.
+  [[nodiscard]] sim::TimePoint stageDeviceEager(sim::TimePoint t, int pe, std::uint64_t len,
+                                                bool egress);
+
+  void sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                 bool src_device, RequestPtr req, CompletionFn cb);
+  void sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                bool src_device, RequestPtr req, CompletionFn cb);
+
+  /// Executes the rendezvous data movement once the receiver has matched.
+  /// Called by Worker::startRndvTransfer; returns the receive completion
+  /// time and schedules sender-side completion.
+  sim::TimePoint rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf);
+
+  hw::System& sys_;
+  UcxConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t sends_started_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace cux::ucx

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+/// \file request.hpp
+/// Non-blocking operation handles, the moral equivalent of ucs_status_ptr_t
+/// requests returned by ucp_tag_send_nb / ucp_tag_recv_nb.
+
+namespace cux::ucx {
+
+using Tag = std::uint64_t;
+inline constexpr Tag kFullMask = ~Tag{0};
+
+enum class ReqState : std::uint8_t { Pending, Done, Cancelled };
+
+struct Request {
+  ReqState state = ReqState::Pending;
+  Tag matched_tag = 0;        ///< actual tag of the matched message (recv side)
+  std::uint64_t bytes = 0;    ///< payload size transferred
+  int peer_pe = -1;           ///< source PE (recv side) / destination PE (send side)
+
+  [[nodiscard]] bool done() const noexcept { return state == ReqState::Done; }
+  [[nodiscard]] bool cancelled() const noexcept { return state == ReqState::Cancelled; }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/// Completion callback; the request is fully populated when invoked.
+using CompletionFn = std::function<void(Request&)>;
+
+}  // namespace cux::ucx

@@ -1,0 +1,451 @@
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "hw/cuda.hpp"
+#include "ucx/context.hpp"
+#include "ucx/worker.hpp"
+
+namespace cux::ucx {
+
+namespace {
+
+[[nodiscard]] bool tagsMatch(Tag msg_tag, Tag recv_tag, Tag mask) noexcept {
+  return (msg_tag & mask) == (recv_tag & mask);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
+  const int pes = sys.config.numPes();
+  workers_.reserve(static_cast<std::size_t>(pes));
+  for (int pe = 0; pe < pes; ++pe) workers_.push_back(std::make_unique<Worker>(*this, pe));
+}
+
+sim::TimePoint Context::stageDeviceEager(sim::TimePoint t, int pe, std::uint64_t len,
+                                         bool egress) {
+  if (cfg_.gdrcopy_enabled) {
+    // GDRCopy: CPU-driven copy through the BAR window; does not occupy the
+    // NVLink brick the way bulk DMA does.
+    return t + sim::usec(cfg_.gdr_latency_us) + sim::transferTime(len, cfg_.gdr_bandwidth_gbps);
+  }
+  // Fallback: cudaMemcpy staging through the copy engine (the slow path the
+  // paper warns about when GDRCopy is not detected).
+  const hw::GpuId gpu = sys_.machine.gpuOfPe(pe);
+  hw::Link& link = egress ? sys_.machine.gpuUp(gpu) : sys_.machine.gpuDown(gpu);
+  return link.reserve(t + sim::usec(cfg_.cuda_stage_latency_us), len);
+}
+
+RequestPtr Context::tagSend(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                            CompletionFn cb) {
+  auto req = std::make_shared<Request>();
+  req->peer_pe = dst_pe;
+  req->bytes = len;
+  req->matched_tag = tag;
+  ++sends_started_;
+  bytes_sent_ += len;
+
+  const bool src_device = sys_.memory.isDevice(buf);
+  const std::uint64_t eager_limit = src_device ? cfg_.device_eager_threshold
+                                               : cfg_.host_eager_threshold;
+  if (len <= eager_limit) {
+    sys_.trace.record(sys_.engine.now(), sim::TraceCat::UcxSend, src_pe, dst_pe, len, tag,
+                      src_device ? "eager-device" : "eager-host");
+    sendEager(src_pe, dst_pe, buf, len, tag, src_device, req, std::move(cb));
+  } else {
+    sys_.trace.record(sys_.engine.now(), sim::TraceCat::UcxSend, src_pe, dst_pe, len, tag,
+                      src_device ? "rndv-device" : "rndv-host");
+    sendRndv(src_pe, dst_pe, buf, len, tag, src_device, req, std::move(cb));
+  }
+  return req;
+}
+
+RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byte> payload,
+                           CompletionFn cb) {
+  auto req = std::make_shared<Request>();
+  req->peer_pe = dst_pe;
+  req->bytes = payload.size();
+  req->matched_tag = tag;
+  ++sends_started_;
+  bytes_sent_ += payload.size();
+
+  const std::uint64_t len = payload.size();
+  sim::Engine& engine = sys_.engine;
+  Worker& dst = worker(dst_pe);
+
+  if (len <= cfg_.host_eager_threshold) {
+    const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
+    engine.schedule(t0, [req, cb] {
+      req->state = ReqState::Done;
+      if (cb) cb(*req);
+    });
+    const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+    const sim::TimePoint arrival = sys_.machine.transfer(path, t0, len + cfg_.header_bytes);
+    Worker::Incoming msg;
+    msg.tag = tag;
+    msg.src_pe = src_pe;
+    msg.len = len;
+    msg.payload = std::move(payload);
+    engine.schedule(arrival,
+                    [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
+    return req;
+  }
+
+  // Large owned payload: rendezvous timing; the vector lives in the in-flight
+  // message, and the "transfer" pulls from its storage.
+  auto shared_payload = std::make_shared<std::vector<std::byte>>(std::move(payload));
+  const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
+  const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+  const sim::TimePoint rts_arrival = hw::Machine::ctrlTransfer(path, t0, cfg_.header_bytes);
+  Worker::Incoming msg;
+  msg.tag = tag;
+  msg.src_pe = src_pe;
+  msg.len = len;
+  msg.is_rndv = true;
+  msg.src_ptr = shared_payload->data();
+  msg.send_req = req;
+  // Keep the payload alive until sender completion, which happens after the
+  // receiver has pulled the data.
+  msg.send_cb = [cb, shared_payload](Request& r) {
+    if (cb) cb(r);
+  };
+  engine.schedule(rts_arrival,
+                  [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
+  return req;
+}
+
+void Context::sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                        bool src_device, RequestPtr req, CompletionFn cb) {
+  sim::Engine& engine = sys_.engine;
+  sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
+  if (src_device) t0 = stageDeviceEager(t0, src_pe, len, /*egress=*/true);
+
+  // Eager sends complete locally once the payload has been captured.
+  engine.schedule(t0, [req, cb] {
+    req->state = ReqState::Done;
+    if (cb) cb(*req);
+  });
+
+  Worker::Incoming msg;
+  msg.tag = tag;
+  msg.src_pe = src_pe;
+  msg.len = len;
+  msg.src_device = src_device;
+  if (sys_.memory.dereferenceable(buf) && len > 0) {
+    msg.payload.resize(len);
+    std::memcpy(msg.payload.data(), buf, len);
+  } else {
+    msg.payload_valid = (len == 0);
+  }
+
+  const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+  const sim::TimePoint arrival = sys_.machine.transfer(path, t0, len + cfg_.header_bytes);
+  Worker& dst = worker(dst_pe);
+  engine.schedule(arrival,
+                  [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
+}
+
+void Context::sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                       bool src_device, RequestPtr req, CompletionFn cb) {
+  sim::Engine& engine = sys_.engine;
+  const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
+  const hw::Path ctrl_path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+  const sim::TimePoint rts_arrival =
+      hw::Machine::ctrlTransfer(ctrl_path, t0, cfg_.header_bytes);
+
+  Worker::Incoming msg;
+  msg.tag = tag;
+  msg.src_pe = src_pe;
+  msg.len = len;
+  msg.is_rndv = true;
+  msg.src_ptr = buf;
+  msg.src_device = src_device;
+  msg.send_req = std::move(req);
+  msg.send_cb = std::move(cb);
+  Worker& dst = worker(dst_pe);
+  engine.schedule(rts_arrival,
+                  [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
+}
+
+sim::TimePoint Context::rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf) {
+  sim::Engine& engine = sys_.engine;
+  hw::Machine& machine = sys_.machine;
+  const int src_pe = msg.src_pe;
+  const bool src_device = msg.src_device;
+  const bool dst_device = sys_.memory.isDevice(dst_buf);
+  const std::uint64_t len = msg.len;
+
+  const sim::TimePoint t_match = engine.now() + sim::usec(cfg_.rndv_handshake_us);
+  sys_.trace.record(engine.now(), sim::TraceCat::UcxRndv, dst_pe, src_pe, len, msg.tag,
+                    "matched");
+  sim::TimePoint data_arrival = 0;
+
+  const bool same_node = machine.sameNode(src_pe, dst_pe);
+  if (src_device && dst_device && same_node) {
+    // CUDA-IPC-style direct pull across NVLink (possibly via X-Bus).
+    data_arrival = machine.transfer(machine.deviceToDevicePath(src_pe, dst_pe), t_match, len);
+  } else if (src_device && dst_device) {
+    // Inter-node: pipelined host staging in chunks (the UCX cuda pipeline).
+    // CTS travels back to the sender, which then pushes chunks through
+    // D2H -> NIC -> NIC -> H2D; per-link FIFO occupancy pipelines chunks.
+    const sim::TimePoint cts_arrival =
+        hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), t_match,
+                                  cfg_.header_bytes) +
+        sim::usec(cfg_.rndv_handshake_us);
+    const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
+    hw::Link& up = machine.gpuUp(machine.gpuOfPe(src_pe));
+    hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
+    hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
+    hw::Link& down = machine.gpuDown(machine.gpuOfPe(dst_pe));
+    std::uint64_t remaining = len;
+    sim::TimePoint last = cts_arrival;
+    while (remaining > 0) {
+      const std::uint64_t c = remaining < chunk ? remaining : chunk;
+      const sim::TimePoint a = up.reserve(cts_arrival, c);
+      const sim::TimePoint b = nic_up.reserve(a, c);
+      // Chunk management occupies the injection stage, capping the pipeline
+      // below wire speed (paper: ~10 of 12.5 GB/s).
+      nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.rndv_pipeline_overhead_us));
+      const sim::TimePoint d = nic_down.reserve(b, c);
+      last = down.reserve(d, c);
+      remaining -= c;
+    }
+    data_arrival = last;
+  } else if (!src_device && !dst_device && !same_node) {
+    // Inter-node host rendezvous from unregistered (pageable) memory: UCX
+    // chunks through pre-registered bounce buffers; the bounce copy shares
+    // the CPU with NIC posting, so each chunk occupies the injection stage
+    // beyond its wire time. This is what keeps the -H variants below the
+    // GPU-aware pipeline even though EDR bounds both.
+    const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
+    hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
+    hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
+    std::uint64_t remaining = len;
+    sim::TimePoint last = t_match;
+    while (remaining > 0) {
+      const std::uint64_t c = remaining < chunk ? remaining : chunk;
+      const sim::TimePoint b = nic_up.reserve(t_match, c);
+      nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.host_rndv_chunk_overhead_us));
+      last = nic_down.reserve(b, c);
+      remaining -= c;
+    }
+    data_arrival = last;
+  } else {
+    // Mixed or intra-node host: compose egress/host/ingress segments.
+    hw::Path path;
+    if (src_device) {
+      hw::Path e = machine.deviceEgressPath(src_pe);
+      path.insert(path.end(), e.begin(), e.end());
+    }
+    hw::Path h = machine.hostToHostPath(src_pe, dst_pe);
+    path.insert(path.end(), h.begin(), h.end());
+    if (dst_device) {
+      hw::Path i = machine.deviceIngressPath(dst_pe);
+      path.insert(path.end(), i.begin(), i.end());
+    }
+    data_arrival = machine.transfer(path, t_match, len);
+    if (path.empty()) data_arrival = t_match;  // self-send
+  }
+
+  // Sender-side completion: ATS control message back after the data is out.
+  const sim::TimePoint ats_arrival =
+      hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), data_arrival,
+                                cfg_.header_bytes) +
+      sim::usec(cfg_.rndv_handshake_us);
+  RequestPtr send_req = msg.send_req;
+  CompletionFn send_cb = msg.send_cb;
+  engine.schedule(ats_arrival, [send_req, send_cb] {
+    if (send_req) send_req->state = ReqState::Done;
+    if (send_cb && send_req) send_cb(*send_req);
+  });
+  return data_arrival;
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+RequestPtr Worker::tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, CompletionFn cb) {
+  auto req = std::make_shared<Request>();
+  PostedRecv r{req, buf, len, tag, mask, std::move(cb)};
+
+  // Scan the unexpected queue in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (tagsMatch(it->tag, tag, mask)) {
+      Incoming msg = std::move(*it);
+      unexpected_.erase(it);
+      if (msg.is_rndv) {
+        startRndvTransfer(std::move(r), std::move(msg));
+      } else {
+        completeRecvFromEager(std::move(r), std::move(msg));
+      }
+      return req;
+    }
+  }
+  posted_.push_back(std::move(r));
+  return req;
+}
+
+void Worker::setHandler(Tag tag, Tag mask, HandlerFn fn) {
+  handlers_.push_back(Handler{tag, mask, std::move(fn)});
+}
+
+void Worker::setBufferedHandler(Tag tag, Tag mask, BufferProvider fn) {
+  buffered_handlers_.push_back(BufferedHandler{tag, mask, std::move(fn)});
+}
+
+std::optional<Worker::ProbeInfo> Worker::probe(Tag tag, Tag mask) const {
+  for (const Incoming& msg : unexpected_) {
+    if (tagsMatch(msg.tag, tag, mask)) return ProbeInfo{msg.tag, msg.len, msg.src_pe};
+  }
+  return std::nullopt;
+}
+
+bool Worker::cancelRecv(const RequestPtr& req) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->req == req) {
+      req->state = ReqState::Cancelled;
+      CompletionFn cb = std::move(it->cb);
+      posted_.erase(it);
+      if (cb) cb(*req);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Worker::onArrival(Incoming msg) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (tagsMatch(msg.tag, it->tag, it->mask)) {
+      PostedRecv r = std::move(*it);
+      posted_.erase(it);
+      if (msg.is_rndv) {
+        startRndvTransfer(std::move(r), std::move(msg));
+      } else {
+        completeRecvFromEager(std::move(r), std::move(msg));
+      }
+      return;
+    }
+  }
+  // Active-message style: a buffered handler supplies the destination at
+  // match time, so even rendezvous payloads start moving immediately — no
+  // metadata wait, no unexpected queue (the paper's Sec. VI improvement).
+  for (BufferedHandler& bh : buffered_handlers_) {
+    if (!tagsMatch(msg.tag, bh.tag, bh.mask)) continue;
+    auto [buf, cb] = bh.fn(msg.len, msg.tag, msg.src_pe);
+    if (buf == nullptr && msg.len > 0) continue;  // declined
+    PostedRecv r{std::make_shared<Request>(), buf, msg.len, msg.tag, kFullMask, std::move(cb)};
+    if (msg.is_rndv) {
+      startRndvTransfer(std::move(r), std::move(msg));
+    } else {
+      completeRecvFromEager(std::move(r), std::move(msg));
+    }
+    return;
+  }
+  for (Handler& h : handlers_) {
+    if (tagsMatch(msg.tag, h.tag, h.mask)) {
+      deliverToHandler(h.fn, std::move(msg));
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(msg));
+}
+
+void Worker::completeRecvFromEager(PostedRecv r, Incoming msg) {
+  assert(msg.len <= r.len && "eager message truncation (recv buffer too small)");
+  Context& ctx = ctx_;
+  sim::Engine& engine = ctx.system().engine;
+  sim::TimePoint t = engine.now() + sim::usec(ctx.config().recv_overhead_us);
+  const bool dst_device = ctx.system().memory.isDevice(r.buf);
+  if (dst_device) t = ctx.stageDeviceEager(t, pe_, msg.len, /*egress=*/false);
+
+  RequestPtr req = r.req;
+  req->matched_tag = msg.tag;
+  req->bytes = msg.len;
+  req->peer_pe = msg.src_pe;
+  void* buf = r.buf;
+  CompletionFn cb = std::move(r.cb);
+  const int pe = pe_;
+  engine.schedule(t, [&sys = ctx.system(), req, cb = std::move(cb), buf, pe,
+                      msg = std::move(msg)]() mutable {
+    if (msg.payload_valid && !msg.payload.empty() && sys.memory.dereferenceable(buf)) {
+      std::memcpy(buf, msg.payload.data(), msg.payload.size());
+    }
+    req->state = ReqState::Done;
+    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, msg.src_pe, msg.len,
+                     msg.tag, "eager");
+    if (cb) cb(*req);
+  });
+}
+
+void Worker::startRndvTransfer(PostedRecv r, Incoming msg) {
+  assert(msg.len <= r.len && "rendezvous message truncation (recv buffer too small)");
+  Context& ctx = ctx_;
+  sim::Engine& engine = ctx.system().engine;
+  const sim::TimePoint data_arrival = ctx.rndvTransfer(msg, pe_, r.buf);
+  const sim::TimePoint done = data_arrival + sim::usec(ctx.config().recv_overhead_us);
+
+  RequestPtr req = r.req;
+  req->matched_tag = msg.tag;
+  req->bytes = msg.len;
+  req->peer_pe = msg.src_pe;
+  void* buf = r.buf;
+  const void* src = msg.src_ptr;
+  const std::uint64_t len = msg.len;
+  CompletionFn cb = std::move(r.cb);
+  const int pe = pe_;
+  const Tag tag = msg.tag;
+  const int src_pe = msg.src_pe;
+  engine.schedule(done, [&sys = ctx.system(), req, cb = std::move(cb), buf, src, len, pe, tag,
+                         src_pe] {
+    cuda::moveBytes(sys, buf, src, len);
+    req->state = ReqState::Done;
+    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag, "rndv");
+    if (cb) cb(*req);
+  });
+}
+
+void Worker::deliverToHandler(HandlerFn& fn, Incoming msg) {
+  Context& ctx = ctx_;
+  sim::Engine& engine = ctx.system().engine;
+  if (!msg.is_rndv) {
+    const sim::TimePoint t = engine.now() + sim::usec(ctx.config().recv_overhead_us);
+    Delivery d;
+    d.payload = std::move(msg.payload);
+    d.payload_valid = msg.payload_valid;
+    d.tag = msg.tag;
+    d.src_pe = msg.src_pe;
+    d.len = msg.len;
+    HandlerFn* fp = &fn;  // handlers_ entries are stable for the worker's life
+    engine.schedule(t, [fp, d = std::move(d)]() mutable { (*fp)(std::move(d)); });
+    return;
+  }
+  // Rendezvous into a handler: pull into a fresh owned buffer.
+  auto storage = std::make_shared<std::vector<std::byte>>();
+  const bool src_deref = ctx.system().memory.dereferenceable(msg.src_ptr);
+  if (src_deref) storage->resize(msg.len);
+  const Tag tag = msg.tag;
+  const int src_pe = msg.src_pe;
+  const std::uint64_t len = msg.len;
+  const void* src = msg.src_ptr;
+  const sim::TimePoint data_arrival =
+      ctx.rndvTransfer(msg, pe_, storage->empty() ? nullptr : storage->data());
+  const sim::TimePoint done = data_arrival + sim::usec(ctx.config().recv_overhead_us);
+  HandlerFn* fp = &fn;
+  engine.schedule(done, [fp, storage, src_deref, src, len, tag, src_pe] {
+    if (src_deref && len > 0) std::memcpy(storage->data(), src, len);
+    Delivery d;
+    d.payload = std::move(*storage);
+    d.payload_valid = src_deref;
+    d.tag = tag;
+    d.src_pe = src_pe;
+    d.len = len;
+    (*fp)(std::move(d));
+  });
+}
+
+}  // namespace cux::ucx

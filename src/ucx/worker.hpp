@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ucx/request.hpp"
+
+/// \file worker.hpp
+/// Per-PE communication endpoint, the moral equivalent of a ucp_worker.
+///
+/// A Worker owns the tag-matching engine: the list of posted receives, the
+/// unexpected-message queue, and persistent "handler" receives used by the
+/// Converse machine layer to accept arbitrary-size host messages (standing in
+/// for the wildcard pre-posted receives of the real UCX machine layer).
+///
+/// Matching semantics mirror UCX/MPI:
+///  * arriving messages scan posted receives in post order;
+///  * newly posted receives scan the unexpected queue in arrival order;
+///  * persistent handlers are consulted after posted receives, so explicit
+///    receives and machine-layer traffic can share the worker (in practice
+///    the MSG_BITS of the tag keep their tag spaces disjoint).
+
+namespace cux::ucx {
+
+class Context;
+
+/// Persistent receive handler: owns the payload.
+/// Unbacked payloads (simulated-only transfers) arrive as empty vectors with
+/// `payload_valid == false`.
+struct Delivery {
+  std::vector<std::byte> payload;
+  bool payload_valid = true;
+  Tag tag = 0;
+  int src_pe = -1;
+  std::uint64_t len = 0;
+};
+using HandlerFn = std::function<void(Delivery)>;
+
+class Worker {
+ public:
+  Worker(Context& ctx, int pe) : ctx_(ctx), pe_(pe) {}
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] int pe() const noexcept { return pe_; }
+  [[nodiscard]] Context& context() noexcept { return ctx_; }
+
+  /// Posts a receive for a message matching `tag` under `mask`
+  /// (ucp_tag_recv_nb). `buf` must stay valid until completion.
+  RequestPtr tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, CompletionFn cb);
+
+  /// Registers a persistent handler for messages matching `tag` under `mask`.
+  /// The handler owns delivered payloads; it keeps firing until the worker is
+  /// destroyed. Used by the machine layer for Converse host messages.
+  void setHandler(Tag tag, Tag mask, HandlerFn fn);
+
+  /// A provider invoked at match time to supply the destination buffer (and
+  /// completion callback) for a matching message — the receiver-side half of
+  /// an active-message receive: data lands directly in the provided buffer
+  /// (host or device) with no pre-posted request and no unexpected-queue
+  /// detour. Returning {nullptr, ...} declines the message (it then falls
+  /// through to plain handlers / the unexpected queue).
+  using BufferProvider =
+      std::function<std::pair<void*, CompletionFn>(std::uint64_t len, Tag tag, int src_pe)>;
+
+  /// Registers a persistent buffer-providing handler; consulted after posted
+  /// receives but before plain handlers.
+  void setBufferedHandler(Tag tag, Tag mask, BufferProvider fn);
+
+  /// Cancels a pending posted receive; returns false if it already matched.
+  bool cancelRecv(const RequestPtr& req);
+
+  /// Probe metadata of a pending unexpected message (ucp_tag_probe_nb with
+  /// remove=0): tag, length and source of the first match, if any.
+  struct ProbeInfo {
+    Tag tag = 0;
+    std::uint64_t len = 0;
+    int src_pe = -1;
+  };
+  [[nodiscard]] std::optional<ProbeInfo> probe(Tag tag, Tag mask) const;
+
+  // --- statistics --------------------------------------------------------
+  [[nodiscard]] std::size_t postedCount() const noexcept { return posted_.size(); }
+  [[nodiscard]] std::size_t unexpectedCount() const noexcept { return unexpected_.size(); }
+
+ private:
+  friend class Context;
+
+  struct PostedRecv {
+    RequestPtr req;
+    void* buf;
+    std::uint64_t len;
+    Tag tag;
+    Tag mask;
+    CompletionFn cb;
+  };
+
+  /// An arriving message the matching engine operates on. Exactly one of the
+  /// two shapes is populated: eager (payload travelled with the header) or
+  /// rendezvous (payload still lives at src_ptr on the sender).
+  struct Incoming {
+    Tag tag = 0;
+    int src_pe = -1;
+    std::uint64_t len = 0;
+    bool is_rndv = false;
+    // eager:
+    std::vector<std::byte> payload;
+    bool payload_valid = true;
+    bool src_device = false;  ///< receiver pays the un-staging cost for device eager
+    // rendezvous:
+    const void* src_ptr = nullptr;
+    bool dst_hint_device = false;  // unused placeholder for symmetry
+    RequestPtr send_req;
+    CompletionFn send_cb;
+  };
+
+  void onArrival(Incoming msg);
+  void matchAgainstUnexpected(PostedRecv& r);
+  void completeRecvFromEager(PostedRecv r, Incoming msg);
+  void startRndvTransfer(PostedRecv r, Incoming msg);
+  void deliverToHandler(HandlerFn& fn, Incoming msg);
+
+  struct Handler {
+    Tag tag;
+    Tag mask;
+    HandlerFn fn;
+  };
+  struct BufferedHandler {
+    Tag tag;
+    Tag mask;
+    BufferProvider fn;
+  };
+
+  Context& ctx_;
+  int pe_;
+  std::deque<PostedRecv> posted_;
+  std::deque<Incoming> unexpected_;
+  std::deque<Handler> handlers_;  // deque: handler addresses stay stable
+  std::deque<BufferedHandler> buffered_handlers_;
+};
+
+}  // namespace cux::ucx

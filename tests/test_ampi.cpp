@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ampi/ampi.hpp"
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cux;
+
+struct AmpiFixture {
+  explicit AmpiFixture(int nodes = 2, int nranks = -1) : m(model::summit(nodes)) {
+    sys = std::make_unique<hw::System>(m.machine);
+    ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
+    rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
+    world = std::make_unique<ampi::World>(*rt, nranks);
+  }
+  void runAll(std::function<sim::FutureTask(ampi::Rank&)> main) {
+    world->run(std::move(main));
+    sys->engine.run();
+    ASSERT_TRUE(world->done().ready()) << "AMPI program deadlocked";
+  }
+  model::Model m;
+  std::unique_ptr<hw::System> sys;
+  std::unique_ptr<ucx::Context> ctx;
+  std::unique_ptr<ck::Runtime> rt;
+  std::unique_ptr<ampi::World> world;
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> v(n);
+  sim::SplitMix64 rng(seed);
+  rng.fill(v.data(), n);
+  return v;
+}
+
+// --------------------------------------------------------------------------
+// Host-memory point-to-point
+// --------------------------------------------------------------------------
+
+TEST(Ampi, HostSendRecvSmall) {
+  AmpiFixture f;
+  auto src = pattern(256, 1);
+  std::vector<std::byte> dst(256);
+  bool checked = false;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      co_await r.send(src.data(), src.size(), 1, 7);
+    } else if (r.rank() == 1) {
+      ampi::Status st;
+      co_await r.recv(dst.data(), dst.size(), 0, 7, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 256u);
+      checked = true;
+    }
+    co_return;
+  });
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Ampi, HostSendRecvLargeZeroCopy) {
+  AmpiFixture f;
+  const std::size_t n = 2u << 20;  // above the 128 KiB pack threshold
+  auto src = pattern(n, 2);
+  std::vector<std::byte> dst(n);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) co_await r.send(src.data(), n, 6, 0);  // inter-node
+    if (r.rank() == 6) co_await r.recv(dst.data(), n, 0, 0);
+    co_return;
+  });
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Ampi, DeviceSendRecv) {
+  AmpiFixture f;
+  const std::size_t n = 1u << 20;
+  auto ref = pattern(n, 3);
+  cuda::DeviceBuffer a(*f.sys, 0, n), b(*f.sys, 6, n);
+  std::memcpy(a.get(), ref.data(), n);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) co_await r.send(a.get(), n, 6, 5);
+    if (r.rank() == 6) co_await r.recv(b.get(), n, 0, 5);
+    co_return;
+  });
+  EXPECT_EQ(std::memcmp(ref.data(), b.get(), n), 0);
+}
+
+TEST(Ampi, SmallDeviceMessagesUseEagerGdrPath) {
+  AmpiFixture f;
+  const std::size_t n = 64;  // below the device eager threshold
+  auto ref = pattern(n, 4);
+  cuda::DeviceBuffer a(*f.sys, 0, n), b(*f.sys, 1, n);
+  std::memcpy(a.get(), ref.data(), n);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) co_await r.send(a.get(), n, 1, 0);
+    if (r.rank() == 1) co_await r.recv(b.get(), n, 0, 0);
+    co_return;
+  });
+  EXPECT_EQ(std::memcmp(ref.data(), b.get(), n), 0);
+}
+
+// --------------------------------------------------------------------------
+// Matching semantics
+// --------------------------------------------------------------------------
+
+TEST(Ampi, AnySourceReceives) {
+  AmpiFixture f;
+  int v = 41;
+  int got = 0;
+  ampi::Status st;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 3) co_await r.send(&v, sizeof v, 0, 9);
+    if (r.rank() == 0) co_await r.recv(&got, sizeof got, ampi::kAnySource, 9, &st);
+    co_return;
+  });
+  EXPECT_EQ(got, 41);
+  EXPECT_EQ(st.source, 3);
+}
+
+TEST(Ampi, AnyTagReceives) {
+  AmpiFixture f;
+  int v = 17, got = 0;
+  ampi::Status st;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 1) co_await r.send(&v, sizeof v, 0, 1234);
+    if (r.rank() == 0) co_await r.recv(&got, sizeof got, 1, ampi::kAnyTag, &st);
+    co_return;
+  });
+  EXPECT_EQ(got, 17);
+  EXPECT_EQ(st.tag, 1234);
+}
+
+TEST(Ampi, TagsSelectAmongMessages) {
+  AmpiFixture f;
+  int a = 1, b = 2, got_a = 0, got_b = 0;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      co_await r.send(&a, sizeof a, 1, 100);
+      co_await r.send(&b, sizeof b, 1, 200);
+    } else if (r.rank() == 1) {
+      // Receive in reverse tag order: matching must respect tags.
+      co_await r.recv(&got_b, sizeof got_b, 0, 200);
+      co_await r.recv(&got_a, sizeof got_a, 0, 100);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 2);
+}
+
+TEST(Ampi, NonOvertakingSameTag) {
+  // MPI ordering: two same-tag messages between one pair match in send
+  // order, even though one is eager (small) and one rendezvous (large) and
+  // the small one physically overtakes the large in the network.
+  AmpiFixture f;
+  const std::size_t big_n = 1u << 20;
+  auto big = pattern(big_n, 5);
+  std::vector<std::byte> small{std::byte{0xAA}};
+  std::vector<std::byte> first(big_n), second(1);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      auto s1 = r.isend(big.data(), big_n, 1, 5);
+      auto s2 = r.isend(small.data(), 1, 1, 5);
+      std::vector<ampi::Request> reqs{s1, s2};
+      co_await r.waitAll(reqs);
+    } else if (r.rank() == 1) {
+      co_await r.recv(first.data(), big_n, 0, 5);   // must be the big one
+      co_await r.recv(second.data(), 1, 0, 5);      // then the small one
+    }
+    co_return;
+  });
+  EXPECT_EQ(first, big);
+  EXPECT_EQ(second[0], std::byte{0xAA});
+}
+
+TEST(Ampi, UnexpectedMessagesMatchLateReceives) {
+  AmpiFixture f;
+  int v = 55, got = 0;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      co_await r.send(&v, sizeof v, 1, 3);
+    } else if (r.rank() == 1) {
+      // Give the message time to arrive unexpected, then post the receive.
+      co_await sim::delay(r.system().engine, sim::msec(1));
+      co_await r.recv(&got, sizeof got, 0, 3);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, 55);
+}
+
+TEST(Ampi, IsendIrecvWaitAll) {
+  AmpiFixture f;
+  constexpr int kMsgs = 8;
+  std::vector<std::vector<std::byte>> srcs, dsts(kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    srcs.push_back(pattern(1024 * (static_cast<std::size_t>(i) + 1), 10 + i));
+    dsts[static_cast<std::size_t>(i)].resize(srcs.back().size());
+  }
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      std::vector<ampi::Request> reqs;
+      for (int i = 0; i < kMsgs; ++i)
+        reqs.push_back(r.isend(srcs[static_cast<std::size_t>(i)].data(),
+                               srcs[static_cast<std::size_t>(i)].size(), 1, i));
+      co_await r.waitAll(reqs);
+    } else if (r.rank() == 1) {
+      std::vector<ampi::Request> reqs;
+      for (int i = 0; i < kMsgs; ++i)
+        reqs.push_back(r.irecv(dsts[static_cast<std::size_t>(i)].data(),
+                               dsts[static_cast<std::size_t>(i)].size(), 0, i));
+      co_await r.waitAll(reqs);
+    }
+    co_return;
+  });
+  for (int i = 0; i < kMsgs; ++i) EXPECT_EQ(srcs[static_cast<std::size_t>(i)], dsts[static_cast<std::size_t>(i)]);
+}
+
+TEST(Ampi, SelfSend) {
+  AmpiFixture f;
+  int v = 7, got = 0;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 2) {
+      auto s = r.isend(&v, sizeof v, 2, 0);
+      co_await r.recv(&got, sizeof got, 2, 0);
+      co_await r.wait(s);
+    }
+    co_return;
+  });
+  EXPECT_EQ(got, 7);
+}
+
+// --------------------------------------------------------------------------
+// Collectives & virtualisation
+// --------------------------------------------------------------------------
+
+TEST(Ampi, BarrierSynchronises) {
+  AmpiFixture f;
+  std::vector<double> after(static_cast<std::size_t>(f.world->size()), 0.0);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    // Rank i works i*10us before the barrier; all must leave together.
+    co_await sim::delay(r.system().engine, sim::usec(10.0 * r.rank()));
+    co_await r.barrier();
+    after[static_cast<std::size_t>(r.rank())] = r.timeUs();
+    co_return;
+  });
+  const double slowest = 10.0 * (f.world->size() - 1);
+  for (double t : after) EXPECT_GE(t, slowest);
+}
+
+TEST(Ampi, MultipleBarriersInSequence) {
+  AmpiFixture f(1);
+  int phase_errors = 0;
+  std::vector<int> counter(1, 0);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    for (int it = 0; it < 5; ++it) {
+      co_await r.barrier();
+      if (r.rank() == 0) ++counter[0];
+      co_await r.barrier();
+      if (counter[0] != it + 1) ++phase_errors;
+    }
+    co_return;
+  });
+  EXPECT_EQ(phase_errors, 0);
+  EXPECT_EQ(counter[0], 5);
+}
+
+TEST(Ampi, VirtualisationMultipleRanksPerPe) {
+  // 24 ranks on 6 PEs (4x virtualisation): AMPI's rank-per-chare design.
+  AmpiFixture f(1, 24);
+  std::vector<int> got(24, -1);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    const int next = (r.rank() + 1) % r.size();
+    const int prev = (r.rank() - 1 + r.size()) % r.size();
+    int token = r.rank();
+    auto s = r.isend(&token, sizeof token, next, 0);
+    int in = -1;
+    co_await r.recv(&in, sizeof in, prev, 0);
+    co_await r.wait(s);
+    got[static_cast<std::size_t>(r.rank())] = in;
+    co_return;
+  });
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], (i - 1 + 24) % 24);
+}
+
+TEST(Ampi, RingExchangeAllRanks) {
+  AmpiFixture f(2);
+  const int n = f.world->size();
+  std::vector<double> vals(static_cast<std::size_t>(n), 0);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    double v = 100.0 + r.rank();
+    double in = 0;
+    auto s = r.isend(&v, sizeof v, (r.rank() + 1) % r.size(), 1);
+    co_await r.recv(&in, sizeof in, (r.rank() - 1 + r.size()) % r.size(), 1);
+    co_await r.wait(s);
+    vals[static_cast<std::size_t>(r.rank())] = in;
+    co_return;
+  });
+  for (int i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(vals[static_cast<std::size_t>(i)], 100.0 + (i - 1 + n) % n);
+}
+
+// --------------------------------------------------------------------------
+// Device-pointer cache (paper Sec. III-C1)
+// --------------------------------------------------------------------------
+
+TEST(Ampi, DevicePointerCacheHitsOnRepeatedSends) {
+  AmpiFixture f(1);
+  const std::size_t n = 64;
+  cuda::DeviceBuffer a(*f.sys, 0, n), b(*f.sys, 1, n);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0) {
+      for (int i = 0; i < 10; ++i) co_await r.send(a.get(), n, 1, i);
+    } else if (r.rank() == 1) {
+      for (int i = 0; i < 10; ++i) co_await r.recv(b.get(), n, 0, i);
+    }
+    co_return;
+  });
+  EXPECT_GE(f.world->cacheHits(), 9u);   // first lookup misses, rest hit
+  EXPECT_GE(f.world->cacheMisses(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Datatype overloads
+// --------------------------------------------------------------------------
+
+TEST(Ampi, DatatypeCountOverloads) {
+  AmpiFixture f(1);
+  std::vector<double> src{1.5, 2.5, 3.5};
+  std::vector<double> dst(3, 0.0);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    if (r.rank() == 0)
+      co_await r.wait(r.isend(src.data(), 3, ampi::Datatype::Double, 1, 0));
+    if (r.rank() == 1)
+      co_await r.wait(r.irecv(dst.data(), 3, ampi::Datatype::Double, 0, 0));
+    co_return;
+  });
+  EXPECT_EQ(src, dst);
+}
+
+// --------------------------------------------------------------------------
+// Property: random traffic with mixed sizes/spaces arrives intact.
+// --------------------------------------------------------------------------
+
+class AmpiRandomTraffic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AmpiRandomTraffic, AllMessagesIntact) {
+  AmpiFixture f(2);
+  sim::SplitMix64 rng(GetParam());
+  constexpr int kPairs = 10;
+  struct Xfer {
+    std::vector<std::byte> ref;
+    void* src;
+    void* dst;
+    bool src_dev, dst_dev;
+    std::size_t n;
+    int from, to, tag;
+  };
+  std::vector<Xfer> xs;
+  std::vector<std::unique_ptr<cuda::DeviceBuffer>> bufs;
+  std::vector<std::unique_ptr<std::vector<std::byte>>> hosts;
+  for (int i = 0; i < kPairs; ++i) {
+    Xfer x;
+    x.n = 1 + rng.below(300 * 1024);
+    x.ref = pattern(x.n, 1000 + static_cast<std::uint64_t>(i));
+    x.from = static_cast<int>(rng.below(12));
+    do {
+      x.to = static_cast<int>(rng.below(12));
+    } while (x.to == x.from);
+    x.tag = i;
+    x.src_dev = rng.below(2) == 0;
+    x.dst_dev = rng.below(2) == 0;
+    if (x.src_dev) {
+      bufs.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, x.from, x.n));
+      x.src = bufs.back()->get();
+    } else {
+      hosts.push_back(std::make_unique<std::vector<std::byte>>(x.n));
+      x.src = hosts.back()->data();
+    }
+    std::memcpy(x.src, x.ref.data(), x.n);
+    if (x.dst_dev) {
+      bufs.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, x.to, x.n));
+      x.dst = bufs.back()->get();
+    } else {
+      hosts.push_back(std::make_unique<std::vector<std::byte>>(x.n));
+      x.dst = hosts.back()->data();
+    }
+    xs.push_back(std::move(x));
+  }
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    std::vector<ampi::Request> reqs;
+    for (auto& x : xs) {
+      if (x.from == r.rank()) reqs.push_back(r.isend(x.src, x.n, x.to, x.tag));
+      if (x.to == r.rank()) reqs.push_back(r.irecv(x.dst, x.n, x.from, x.tag));
+    }
+    co_await r.waitAll(reqs);
+    co_return;
+  });
+  for (auto& x : xs) EXPECT_EQ(std::memcmp(x.dst, x.ref.data(), x.n), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmpiRandomTraffic, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

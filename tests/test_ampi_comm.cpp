@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include <cstring>
+
+#include "ampi/ampi.hpp"
+#include "coll/coll.hpp"
+#include "model/model.hpp"
+#include "sim/rng.hpp"
+#include "ucx/context.hpp"
+
+/// Communicator semantics: MPI_Comm_split/dup, comm-scoped matching, and
+/// comm-local rank translation (AMPI supports full MPI communicators; the
+/// reproduction needs them for rank-group experiments).
+
+namespace {
+
+using namespace cux;
+
+struct Fixture {
+  explicit Fixture(int nodes = 2, int nranks = -1) : m(model::summit(nodes)) {
+    sys = std::make_unique<hw::System>(m.machine);
+    ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
+    rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
+    world = std::make_unique<ampi::World>(*rt, nranks);
+  }
+  void runAll(std::function<sim::FutureTask(ampi::Rank&)> main) {
+    world->run(std::move(main));
+    sys->engine.run();
+    ASSERT_TRUE(world->done().ready()) << "deadlock";
+  }
+  model::Model m;
+  std::unique_ptr<hw::System> sys;
+  std::unique_ptr<ucx::Context> ctx;
+  std::unique_ptr<ck::Runtime> rt;
+  std::unique_ptr<ampi::World> world;
+};
+
+TEST(AmpiComm, WorldCommCoversAllRanks) {
+  Fixture f;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm w = r.commWorld();
+    EXPECT_TRUE(w.valid());
+    EXPECT_EQ(w.id(), 0);
+    EXPECT_EQ(w.size(), r.size());
+    EXPECT_EQ(w.rankOf(r.rank()), r.rank());
+    EXPECT_EQ(w.worldRankOf(r.rank()), r.rank());
+    co_return;
+  });
+}
+
+TEST(AmpiComm, SplitByParity) {
+  Fixture f;
+  std::vector<int> comm_size(12, 0), comm_rank(12, -1);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm sub = co_await r.split(r.commWorld(), r.rank() % 2, r.rank());
+    EXPECT_TRUE(sub.valid());
+    comm_size[static_cast<std::size_t>(r.rank())] = sub.size();
+    comm_rank[static_cast<std::size_t>(r.rank())] = sub.rankOf(r.rank());
+  });
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(comm_size[static_cast<std::size_t>(i)], 6) << i;
+    EXPECT_EQ(comm_rank[static_cast<std::size_t>(i)], i / 2) << i;
+  }
+}
+
+TEST(AmpiComm, SplitOrdersByKey) {
+  Fixture f(1);  // 6 ranks
+  std::vector<int> local(6, -1);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    // Reverse key order: world rank 5 becomes comm rank 0.
+    ampi::Comm sub = co_await r.split(r.commWorld(), 0, -r.rank());
+    local[static_cast<std::size_t>(r.rank())] = sub.rankOf(r.rank());
+  });
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(local[static_cast<std::size_t>(i)], 5 - i);
+}
+
+TEST(AmpiComm, UndefinedColorYieldsInvalidComm) {
+  Fixture f(1);
+  std::vector<bool> got_valid(6, true);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    const int color = r.rank() == 0 ? ampi::kUndefinedColor : 1;
+    ampi::Comm sub = co_await r.split(r.commWorld(), color, 0);
+    got_valid[static_cast<std::size_t>(r.rank())] = sub.valid();
+  });
+  EXPECT_FALSE(got_valid[0]);
+  for (int i = 1; i < 6; ++i) EXPECT_TRUE(got_valid[static_cast<std::size_t>(i)]);
+}
+
+TEST(AmpiComm, PointToPointUsesCommLocalRanks) {
+  Fixture f(1);
+  int got = 0;
+  ampi::Status st;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    // Odd ranks form a communicator: world 1,3,5 -> local 0,1,2.
+    ampi::Comm sub = co_await r.split(r.commWorld(), r.rank() % 2, r.rank());
+    if (r.rank() == 1) {
+      int v = 99;
+      co_await r.send(&v, sizeof v, /*dst local=*/2, 7, sub);  // to world rank 5
+    } else if (r.rank() == 5) {
+      co_await r.recv(&got, sizeof got, /*src local=*/0, 7, sub, &st);
+    }
+  });
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(st.source, 0);  // comm-local source rank
+}
+
+TEST(AmpiComm, MessagesDoNotCrossCommunicators) {
+  Fixture f(1);
+  int from_world = 0, from_sub = 0;
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm sub = co_await r.split(r.commWorld(), 0, r.rank());
+    if (r.rank() == 0) {
+      int a = 1, b = 2;
+      // Same destination and tag, different communicators.
+      auto s1 = r.isend(&a, sizeof a, 1, 5);        // world
+      auto s2 = r.isend(&b, sizeof b, 1, 5, sub);   // sub
+      std::vector<ampi::Request> rs{s1, s2};
+      co_await r.waitAll(rs);
+    } else if (r.rank() == 1) {
+      // Receive the sub-communicator one first: comm matching must select
+      // the right envelope even though (src, tag) are identical.
+      co_await r.recv(&from_sub, sizeof from_sub, 0, 5, sub);
+      co_await r.recv(&from_world, sizeof from_world, 0, 5);
+    }
+  });
+  EXPECT_EQ(from_sub, 2);
+  EXPECT_EQ(from_world, 1);
+}
+
+TEST(AmpiComm, DupCreatesDistinctContext) {
+  Fixture f(1);
+  std::vector<int> ids(6, -1);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm d = co_await r.dup(r.commWorld());
+    EXPECT_TRUE(d.valid());
+    EXPECT_NE(d.id(), 0);
+    EXPECT_EQ(d.size(), r.size());
+    EXPECT_EQ(d.rankOf(r.rank()), r.rank());
+    ids[static_cast<std::size_t>(r.rank())] = d.id();
+  });
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], ids[0]);
+}
+
+TEST(AmpiComm, SequentialSplitsGetDistinctIds) {
+  Fixture f(1);
+  std::vector<int> first(6), second(6);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm a = co_await r.split(r.commWorld(), 0, r.rank());
+    ampi::Comm b = co_await r.split(r.commWorld(), 0, r.rank());
+    first[static_cast<std::size_t>(r.rank())] = a.id();
+    second[static_cast<std::size_t>(r.rank())] = b.id();
+  });
+  EXPECT_NE(first[0], second[0]);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)], first[0]);
+    EXPECT_EQ(second[static_cast<std::size_t>(i)], second[0]);
+  }
+}
+
+TEST(AmpiComm, NestedSplitOfSubCommunicator) {
+  Fixture f(2);  // 12 ranks
+  std::vector<int> leaf_size(12, 0);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm half = co_await r.split(r.commWorld(), r.rank() / 6, r.rank());  // two groups of 6
+    EXPECT_EQ(half.size(), 6);
+    const int lr = half.rankOf(r.rank());
+    ampi::Comm quarter = co_await r.split(half, lr % 2, lr);  // groups of 3
+    leaf_size[static_cast<std::size_t>(r.rank())] = quarter.size();
+  });
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(leaf_size[static_cast<std::size_t>(i)], 3) << i;
+}
+
+TEST(AmpiComm, DeviceTrafficWithinSubCommunicator) {
+  Fixture f(2);
+  const std::size_t n = 1u << 20;
+  cuda::DeviceBuffer a(*f.sys, 1, n), b(*f.sys, 11, n);
+  sim::SplitMix64 rng(5);
+  rng.fill(a.get(), n);
+  f.runAll([&](ampi::Rank& r) -> sim::FutureTask {
+    ampi::Comm odd = co_await r.split(r.commWorld(), r.rank() % 2, r.rank());
+    if (r.rank() == 1) co_await r.send(a.get(), n, odd.size() - 1, 0, odd);
+    if (r.rank() == 11) co_await r.recv(b.get(), n, 0, 0, odd);
+  });
+  EXPECT_EQ(std::memcmp(a.get(), b.get(), n), 0);
+}
+
+}  // namespace

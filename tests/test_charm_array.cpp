@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "charm/array.hpp"
+#include "model/model.hpp"
+#include "ucx/context.hpp"
+
+namespace {
+
+using namespace cux;
+
+struct ArrFixture {
+  explicit ArrFixture(int nodes = 1) : m(model::summit(nodes)) {
+    sys = std::make_unique<hw::System>(m.machine);
+    ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
+    rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
+  }
+  model::Model m;
+  std::unique_ptr<hw::System> sys;
+  std::unique_ptr<ucx::Context> ctx;
+  std::unique_ptr<ck::Runtime> rt;
+};
+
+struct Cell : ck::Chare {
+  explicit Cell(std::array<int, 2> idx) : index(idx) {}
+  void bump(int v) {
+    sum += v;
+    ++hits;
+  }
+  void fromNeighbor(int x, int y) { neighbor_msgs.push_back({x, y}); }
+  std::array<int, 2> index;
+  int sum = 0;
+  int hits = 0;
+  std::vector<std::array<int, 2>> neighbor_msgs;
+};
+
+TEST(CharmArray, ElementsGetTheirIndices) {
+  ArrFixture f;
+  ck::Array<Cell, 2> arr(*f.rt, {4, 3});
+  EXPECT_EQ(arr.size(), 12);
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      auto* c = arr.local({x, y});
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(c->index[0], x);
+      EXPECT_EQ(c->index[1], y);
+    }
+  }
+}
+
+TEST(CharmArray, RoundRobinMappingOverdecomposes) {
+  ArrFixture f;  // 6 PEs
+  ck::Array<Cell, 2> arr(*f.rt, {4, 6});  // 24 elements = 4 per PE
+  std::vector<int> per_pe(6, 0);
+  for (int i = 0; i < arr.size(); ++i) ++per_pe[static_cast<std::size_t>(arr.peOf(i))];
+  for (int pe = 0; pe < 6; ++pe) EXPECT_EQ(per_pe[static_cast<std::size_t>(pe)], 4);
+}
+
+TEST(CharmArray, IndexLinearisationRoundTrips) {
+  ArrFixture f;
+  ck::Array<Cell, 2> arr(*f.rt, {5, 7});
+  for (int i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr.linearOf(arr.indexOf(i)), i);
+  }
+  EXPECT_TRUE(arr.inBounds({0, 0}));
+  EXPECT_TRUE(arr.inBounds({4, 6}));
+  EXPECT_FALSE(arr.inBounds({5, 0}));
+  EXPECT_FALSE(arr.inBounds({0, -1}));
+}
+
+TEST(CharmArray, PointToElementMessaging) {
+  ArrFixture f;
+  ck::Array<Cell, 2> arr(*f.rt, {3, 3});
+  f.rt->startOn(0, [&] { arr[{2, 1}].send<&Cell::bump>(41); });
+  f.sys->engine.run();
+  EXPECT_EQ(arr.local({2, 1})->sum, 41);
+  EXPECT_EQ(arr.local({0, 0})->sum, 0);
+}
+
+TEST(CharmArray, BroadcastHitsEveryElement) {
+  ArrFixture f;
+  ck::Array<Cell, 2> arr(*f.rt, {4, 5});
+  f.rt->startOn(2, [&] { arr.broadcast<&Cell::bump>(3); });
+  f.sys->engine.run();
+  for (int i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr.local(arr.indexOf(i))->sum, 3);
+    EXPECT_EQ(arr.local(arr.indexOf(i))->hits, 1);
+  }
+}
+
+TEST(CharmArray, NeighborExchangePattern) {
+  // Every element messages its 4-neighbourhood — the shape of a 2D stencil.
+  ArrFixture f;
+  ck::Array<Cell, 2> arr(*f.rt, {4, 4});
+  f.rt->startOn(0, [&] {
+    for (int i = 0; i < arr.size(); ++i) {
+      const auto idx = arr.indexOf(i);
+      const std::array<std::array<int, 2>, 4> nbrs{{{idx[0] - 1, idx[1]},
+                                                    {idx[0] + 1, idx[1]},
+                                                    {idx[0], idx[1] - 1},
+                                                    {idx[0], idx[1] + 1}}};
+      for (const auto& n : nbrs) {
+        if (arr.inBounds(n)) arr[n].send<&Cell::fromNeighbor>(idx[0], idx[1]);
+      }
+    }
+  });
+  f.sys->engine.run();
+  // Corner elements hear from 2 neighbours, edges 3, interior 4.
+  EXPECT_EQ(arr.local({0, 0})->neighbor_msgs.size(), 2u);
+  EXPECT_EQ(arr.local({1, 0})->neighbor_msgs.size(), 3u);
+  EXPECT_EQ(arr.local({1, 1})->neighbor_msgs.size(), 4u);
+}
+
+struct Cell1D : ck::Chare {
+  explicit Cell1D(std::array<int, 1> idx) : i(idx[0]) {}
+  void token(int v) { got = v; }
+  int i;
+  int got = -1;
+};
+
+TEST(CharmArray, OneDimensionalRing) {
+  ArrFixture f;
+  ck::Array<Cell1D, 1> arr(*f.rt, {17});
+  f.rt->startOn(0, [&] {
+    for (int i = 0; i < 17; ++i) arr[{(i + 1) % 17}].send<&Cell1D::token>(i);
+  });
+  f.sys->engine.run();
+  for (int i = 0; i < 17; ++i) {
+    EXPECT_EQ(arr.local({i})->got, (i - 1 + 17) % 17);
+  }
+}
+
+// SMP mode smoke: the comm-thread build must stay functionally identical.
+TEST(SmpMode, FunctionallyIdenticalJustSlower) {
+  auto run = [](bool smp) {
+    model::Model m = model::summit(2);
+    m.costs.smp_comm_thread = smp;
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    ck::Runtime rt(sys, ctx, m);
+    ck::Array<Cell1D, 1> arr(rt, {12});
+    rt.startOn(0, [&] {
+      for (int i = 0; i < 12; ++i) arr[{i}].send<&Cell1D::token>(100 + i);
+    });
+    sys.engine.run();
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_EQ(arr.local({i})->got, 100 + i);
+    }
+    return sim::toUs(sys.engine.now());
+  };
+  const double plain = run(false);
+  const double smp = run(true);
+  EXPECT_GT(smp, plain);  // comm-thread hops cost time
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "charm/group.hpp"
+#include "model/model.hpp"
+#include "ucx/context.hpp"
+
+namespace {
+
+using namespace cux;
+
+struct GroupFixture {
+  explicit GroupFixture(int nodes = 2) : m(model::summit(nodes)) {
+    sys = std::make_unique<hw::System>(m.machine);
+    ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
+    rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
+  }
+  model::Model m;
+  std::unique_ptr<hw::System> sys;
+  std::unique_ptr<ucx::Context> ctx;
+  std::unique_ptr<ck::Runtime> rt;
+};
+
+struct Member : ck::Chare {
+  void poke(int v) {
+    got = v;
+    ++pokes;
+  }
+  int got = 0;
+  int pokes = 0;
+};
+
+TEST(CharmGroup, OneElementPerPe) {
+  GroupFixture f;
+  ck::Group<Member> g(*f.rt);
+  EXPECT_EQ(g.size(), 12);
+  for (int pe = 0; pe < 12; ++pe) {
+    EXPECT_EQ(g.onPe(pe).pe(), pe);
+    EXPECT_NE(g.localOn(pe), nullptr);
+  }
+}
+
+TEST(CharmGroup, BroadcastReachesEveryElement) {
+  GroupFixture f;
+  ck::Group<Member> g(*f.rt);
+  f.rt->startOn(0, [&] { g.broadcast<&Member::poke>(42); });
+  f.sys->engine.run();
+  for (int pe = 0; pe < 12; ++pe) {
+    EXPECT_EQ(g.localOn(pe)->got, 42) << pe;
+    EXPECT_EQ(g.localOn(pe)->pokes, 1) << pe;
+  }
+}
+
+TEST(CharmGroup, RepeatedBroadcastsAllArrive) {
+  GroupFixture f(1);
+  ck::Group<Member> g(*f.rt);
+  f.rt->startOn(2, [&] {
+    for (int i = 0; i < 10; ++i) g.broadcast<&Member::poke>(i);
+  });
+  f.sys->engine.run();
+  for (int pe = 0; pe < 6; ++pe) EXPECT_EQ(g.localOn(pe)->pokes, 10);
+}
+
+TEST(CharmReduction, SumAcrossAllPes) {
+  GroupFixture f;
+  ck::Reduction red(*f.rt);
+  double result = -1;
+  for (int pe = 0; pe < 12; ++pe) {
+    f.rt->startOn(pe, [&, pe] {
+      red.contribute(pe, static_cast<double>(pe + 1), ck::ReducerOp::Sum,
+                     pe == 0 ? [&](double v) { result = v; } : ck::Reduction::ResultFn{});
+    });
+  }
+  f.sys->engine.run();
+  EXPECT_DOUBLE_EQ(result, 78.0);  // 1+...+12
+}
+
+TEST(CharmReduction, MaxAndMin) {
+  GroupFixture f(1);
+  ck::Reduction red(*f.rt);
+  double max_r = 0, min_r = 0;
+  for (int pe = 0; pe < 6; ++pe) {
+    f.rt->startOn(pe, [&, pe] {
+      red.contribute(pe, 10.0 * pe - 20.0, ck::ReducerOp::Max,
+                     pe == 0 ? [&](double v) { max_r = v; } : ck::Reduction::ResultFn{});
+      red.contribute(pe, 10.0 * pe - 20.0, ck::ReducerOp::Min,
+                     pe == 0 ? [&](double v) { min_r = v; } : ck::Reduction::ResultFn{});
+    });
+  }
+  f.sys->engine.run();
+  EXPECT_DOUBLE_EQ(max_r, 30.0);
+  EXPECT_DOUBLE_EQ(min_r, -20.0);
+}
+
+TEST(CharmReduction, PipelinedRoundsDoNotMix) {
+  // Contribute several rounds back to back from each PE; results must land
+  // in order with the right per-round values.
+  GroupFixture f(1);
+  ck::Reduction red(*f.rt);
+  std::vector<double> results;
+  for (int pe = 0; pe < 6; ++pe) {
+    f.rt->startOn(pe, [&, pe] {
+      for (int round = 0; round < 5; ++round) {
+        red.contribute(pe, static_cast<double>(round), ck::ReducerOp::Sum,
+                       pe == 0 ? [&](double v) { results.push_back(v); }
+                               : ck::Reduction::ResultFn{});
+      }
+    });
+  }
+  f.sys->engine.run();
+  ASSERT_EQ(results.size(), 5u);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(round)], 6.0 * round);
+  }
+}
+
+TEST(CharmReduction, WideFanoutTree) {
+  GroupFixture f(4);  // 24 PEs
+  ck::Reduction red(*f.rt, /*fanout=*/4);
+  double result = 0;
+  for (int pe = 0; pe < 24; ++pe) {
+    f.rt->startOn(pe, [&, pe] {
+      red.contribute(pe, 1.0, ck::ReducerOp::Sum,
+                     pe == 0 ? [&](double v) { result = v; } : ck::Reduction::ResultFn{});
+    });
+  }
+  f.sys->engine.run();
+  EXPECT_DOUBLE_EQ(result, 24.0);
+}
+
+TEST(CharmReduction, SinglePeDegenerateTree) {
+  model::Model m = model::summit(1);
+  m.machine.gpus_per_node = 2;  // tiny machine
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  ck::Runtime rt(sys, ctx, m);
+  ck::Reduction red(rt);
+  double result = 0;
+  for (int pe = 0; pe < 2; ++pe) {
+    rt.startOn(pe, [&, pe] {
+      red.contribute(pe, 5.0, ck::ReducerOp::Sum,
+                     pe == 0 ? [&](double v) { result = v; } : ck::Reduction::ResultFn{});
+    });
+  }
+  sys.engine.run();
+  EXPECT_DOUBLE_EQ(result, 10.0);
+}
+
+}  // namespace

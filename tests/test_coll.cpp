@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ampi/ampi.hpp"
+#include "coll/coll.hpp"
+#include "model/model.hpp"
+#include "ompi/ompi.hpp"
+#include "ucx/context.hpp"
+
+namespace {
+
+using namespace cux;
+
+// Fixture running the same collective program on AMPI or OpenMPI.
+struct CollFixture {
+  explicit CollFixture(int nodes) : m(model::summit(nodes)) {
+    sys = std::make_unique<hw::System>(m.machine);
+    ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
+  }
+  void runAmpi(std::function<sim::FutureTask(ampi::Rank&)> main) {
+    rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
+    ampi_world = std::make_unique<ampi::World>(*rt);
+    ampi_world->run(std::move(main));
+    sys->engine.run();
+    ASSERT_TRUE(ampi_world->done().ready()) << "collective deadlocked";
+  }
+  void runOmpi(std::function<sim::FutureTask(ompi::Rank&)> main) {
+    ompi_world = std::make_unique<ompi::World>(*sys, *ctx, m.costs);
+    ompi_world->run(std::move(main));
+    sys->engine.run();
+    ASSERT_TRUE(ompi_world->done().ready()) << "collective deadlocked";
+  }
+  model::Model m;
+  std::unique_ptr<hw::System> sys;
+  std::unique_ptr<ucx::Context> ctx;
+  std::unique_ptr<ck::Runtime> rt;
+  std::unique_ptr<ampi::World> ampi_world;
+  std::unique_ptr<ompi::World> ompi_world;
+};
+
+// Device buffer per rank filled with rank-dependent doubles.
+struct RankBufs {
+  RankBufs(hw::System& sys, int n, std::uint64_t count, std::uint64_t recv_mult = 1) {
+    for (int i = 0; i < n; ++i) {
+      send.push_back(std::make_unique<cuda::DeviceBuffer>(sys, i, count * 8));
+      recv.push_back(std::make_unique<cuda::DeviceBuffer>(sys, i, count * 8 * recv_mult));
+      auto* p = send.back()->as<double>();
+      for (std::uint64_t j = 0; j < count; ++j) p[j] = 100.0 * i + static_cast<double>(j);
+    }
+  }
+  std::vector<std::unique_ptr<cuda::DeviceBuffer>> send, recv;
+};
+
+// --------------------------------------------------------------------------
+// Broadcast
+// --------------------------------------------------------------------------
+
+class CollBcast : public ::testing::TestWithParam<int> {};  // param: root
+
+TEST_P(CollBcast, DeviceBroadcastReachesAllRanks) {
+  const int root = GetParam();
+  CollFixture f(2);
+  const std::uint64_t count = 1000;
+  RankBufs bufs(*f.sys, 12, count);
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    void* buf = bufs.send[static_cast<std::size_t>(r.rank())]->get();
+    co_await coll::bcast(r, buf, count * 8, root);
+  });
+  for (int i = 0; i < 12; ++i) {
+    const auto* p = bufs.send[static_cast<std::size_t>(i)]->as<double>();
+    EXPECT_DOUBLE_EQ(p[0], 100.0 * root) << "rank " << i;
+    EXPECT_DOUBLE_EQ(p[count - 1], 100.0 * root + count - 1) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, CollBcast, ::testing::Values(0, 5, 11));
+
+// --------------------------------------------------------------------------
+// Reduce / Allreduce
+// --------------------------------------------------------------------------
+
+TEST(Coll, ReduceSumOnRoot) {
+  CollFixture f(2);
+  const std::uint64_t count = 512;
+  RankBufs bufs(*f.sys, 12, count);
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    co_await coll::reduce(r, bufs.send[static_cast<std::size_t>(r.rank())]->get(),
+                          bufs.recv[static_cast<std::size_t>(r.rank())]->get(), count,
+                          coll::Op::Sum, /*root=*/3);
+  });
+  const auto* p = bufs.recv[3]->as<double>();
+  // sum over i of (100 i + j) = 100*66 + 12 j
+  for (std::uint64_t j = 0; j < count; j += 101) {
+    EXPECT_DOUBLE_EQ(p[j], 6600.0 + 12.0 * static_cast<double>(j));
+  }
+}
+
+using AllreduceParam = std::tuple<int, coll::Op>;
+class CollAllreduce : public ::testing::TestWithParam<AllreduceParam> {};
+
+TEST_P(CollAllreduce, EveryRankHasTheReduction) {
+  const auto [nranks_nodes, op] = GetParam();
+  CollFixture f(nranks_nodes);
+  const int n = 6 * nranks_nodes;
+  const std::uint64_t count = 256;
+  RankBufs bufs(*f.sys, n, count);
+  f.runOmpi([&](ompi::Rank& r) -> sim::FutureTask {
+    co_await coll::allreduce(r, bufs.send[static_cast<std::size_t>(r.rank())]->get(),
+                             bufs.recv[static_cast<std::size_t>(r.rank())]->get(), count, op);
+  });
+  for (int i = 0; i < n; ++i) {
+    const auto* p = bufs.recv[static_cast<std::size_t>(i)]->as<double>();
+    for (std::uint64_t j = 0; j < count; j += 37) {
+      double expected = 0;
+      if (op == coll::Op::Sum) {
+        expected = 100.0 * (n * (n - 1) / 2) + static_cast<double>(n) * static_cast<double>(j);
+      } else if (op == coll::Op::Max) {
+        expected = 100.0 * (n - 1) + static_cast<double>(j);
+      } else {
+        expected = static_cast<double>(j);
+      }
+      ASSERT_DOUBLE_EQ(p[j], expected) << "rank " << i << " elem " << j;
+    }
+  }
+}
+
+std::string allreduceName(const ::testing::TestParamInfo<AllreduceParam>& info) {
+  const auto [nodes, op] = info.param;
+  std::string name = "ranks" + std::to_string(6 * nodes) + "_";
+  name += op == coll::Op::Sum ? "sum" : (op == coll::Op::Max ? "max" : "min");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndOps, CollAllreduce,
+    ::testing::Combine(::testing::Values(1, 2, 3),  // 6, 12, 18 ranks (18: non-power-of-2)
+                       ::testing::Values(coll::Op::Sum, coll::Op::Max, coll::Op::Min)),
+    allreduceName);
+
+// --------------------------------------------------------------------------
+// Allgather / Alltoall / Gather / Scatter
+// --------------------------------------------------------------------------
+
+TEST(Coll, AllgatherAssemblesAllBlocks) {
+  CollFixture f(2);
+  const std::uint64_t count = 128;
+  RankBufs bufs(*f.sys, 12, count, /*recv_mult=*/12);
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    co_await coll::allgather(r, bufs.send[static_cast<std::size_t>(r.rank())]->get(),
+                             bufs.recv[static_cast<std::size_t>(r.rank())]->get(), count * 8);
+  });
+  for (int i = 0; i < 12; ++i) {
+    const auto* p = bufs.recv[static_cast<std::size_t>(i)]->as<double>();
+    for (int blk = 0; blk < 12; ++blk) {
+      ASSERT_DOUBLE_EQ(p[static_cast<std::size_t>(blk) * count], 100.0 * blk)
+          << "rank " << i << " block " << blk;
+      ASSERT_DOUBLE_EQ(p[static_cast<std::size_t>(blk) * count + count - 1],
+                       100.0 * blk + count - 1);
+    }
+  }
+}
+
+TEST(Coll, AlltoallTransposesBlocks) {
+  CollFixture f(2);
+  const int n = 12;
+  const std::uint64_t count = 64;
+  // send block j of rank i carries value 1000*i + j
+  std::vector<std::unique_ptr<cuda::DeviceBuffer>> send, recv;
+  for (int i = 0; i < n; ++i) {
+    send.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, count * 8 * n));
+    recv.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, count * 8 * n));
+    auto* p = send.back()->as<double>();
+    for (int j = 0; j < n; ++j) {
+      for (std::uint64_t k = 0; k < count; ++k) {
+        p[static_cast<std::size_t>(j) * count + k] = 1000.0 * i + j;
+      }
+    }
+  }
+  f.runOmpi([&](ompi::Rank& r) -> sim::FutureTask {
+    co_await coll::alltoall(r, send[static_cast<std::size_t>(r.rank())]->get(),
+                            recv[static_cast<std::size_t>(r.rank())]->get(), count * 8);
+  });
+  for (int i = 0; i < n; ++i) {
+    const auto* p = recv[static_cast<std::size_t>(i)]->as<double>();
+    for (int j = 0; j < n; ++j) {
+      ASSERT_DOUBLE_EQ(p[static_cast<std::size_t>(j) * count], 1000.0 * j + i)
+          << "rank " << i << " from " << j;
+    }
+  }
+}
+
+TEST(Coll, GatherCollectsToRoot) {
+  CollFixture f(1);
+  const std::uint64_t count = 100;
+  RankBufs bufs(*f.sys, 6, count, 6);
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    co_await coll::gather(r, bufs.send[static_cast<std::size_t>(r.rank())]->get(),
+                          bufs.recv[static_cast<std::size_t>(r.rank())]->get(), count * 8,
+                          /*root=*/2);
+  });
+  const auto* p = bufs.recv[2]->as<double>();
+  for (int blk = 0; blk < 6; ++blk) {
+    EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(blk) * count], 100.0 * blk);
+  }
+}
+
+TEST(Coll, ScatterDistributesFromRoot) {
+  CollFixture f(1);
+  const std::uint64_t count = 100;
+  cuda::DeviceBuffer root_buf(*f.sys, 0, count * 8 * 6);
+  auto* rp = root_buf.as<double>();
+  for (int j = 0; j < 6; ++j) {
+    for (std::uint64_t k = 0; k < count; ++k) rp[static_cast<std::size_t>(j) * count + k] = 7.0 * j;
+  }
+  std::vector<std::unique_ptr<cuda::DeviceBuffer>> recv;
+  for (int i = 0; i < 6; ++i) recv.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, count * 8));
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    co_await coll::scatter(r, root_buf.get(), recv[static_cast<std::size_t>(r.rank())]->get(),
+                           count * 8, /*root=*/0);
+  });
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)]->as<double>()[0], 7.0 * i);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Host buffers flow through the same primitives.
+// --------------------------------------------------------------------------
+
+TEST(Coll, HostBuffersWorkToo) {
+  CollFixture f(1);
+  std::vector<std::vector<double>> bufs(6, std::vector<double>(64));
+  for (int i = 0; i < 6; ++i) bufs[static_cast<std::size_t>(i)].assign(64, i + 1.0);
+  std::vector<std::vector<double>> out(6, std::vector<double>(64, 0.0));
+  f.runAmpi([&](ampi::Rank& r) -> sim::FutureTask {
+    co_await coll::allreduce(r, bufs[static_cast<std::size_t>(r.rank())].data(),
+                             out[static_cast<std::size_t>(r.rank())].data(), 64, coll::Op::Sum);
+  });
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)][0], 21.0);
+}
+
+// --------------------------------------------------------------------------
+// Timing property: GPU-aware collectives beat host-staged emulation.
+// --------------------------------------------------------------------------
+
+TEST(CollTiming, DeviceBcastScalesLogarithmically) {
+  auto timeBcast = [](int nodes) {
+    CollFixture f(nodes);
+    const std::uint64_t bytes = 1u << 20;
+    std::vector<std::unique_ptr<cuda::DeviceBuffer>> bufs;
+    for (int i = 0; i < 6 * nodes; ++i) {
+      bufs.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, bytes, false));
+    }
+    f.runOmpi([&](ompi::Rank& r) -> sim::FutureTask {
+      co_await coll::bcast(r, bufs[static_cast<std::size_t>(r.rank())]->get(), bytes, 0);
+    });
+    return sim::toUs(f.sys->engine.now());
+  };
+  const double t2 = timeBcast(2);   // 12 ranks
+  const double t8 = timeBcast(8);   // 48 ranks: 2 more tree levels
+  EXPECT_GT(t8, t2);
+  EXPECT_LT(t8, 3.0 * t2);  // logarithmic, not linear (4x ranks)
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hw/cuda.hpp"
+#include "hw/system.hpp"
+#include "model/model.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace cux;
+
+hw::MachineConfig summitCfg(int nodes) { return model::summit(nodes).machine; }
+
+// --------------------------------------------------------------------------
+// Topology / paths
+// --------------------------------------------------------------------------
+
+TEST(Machine, PeToGpuMapping) {
+  hw::System sys(summitCfg(2));
+  EXPECT_EQ(sys.machine.nodeOfPe(0), 0);
+  EXPECT_EQ(sys.machine.nodeOfPe(5), 0);
+  EXPECT_EQ(sys.machine.nodeOfPe(6), 1);
+  EXPECT_EQ(sys.machine.gpuOfPe(7).node, 1);
+  EXPECT_EQ(sys.machine.gpuOfPe(7).local, 1);
+  EXPECT_TRUE(sys.machine.sameNode(0, 5));
+  EXPECT_FALSE(sys.machine.sameNode(5, 6));
+}
+
+TEST(Machine, SocketAssignment) {
+  hw::MachineConfig cfg = summitCfg(1);
+  // 6 GPUs, 2 sockets: 0-2 on socket 0, 3-5 on socket 1 (Summit layout).
+  EXPECT_EQ(cfg.socketOf(0), 0);
+  EXPECT_EQ(cfg.socketOf(2), 0);
+  EXPECT_EQ(cfg.socketOf(3), 1);
+  EXPECT_EQ(cfg.socketOf(5), 1);
+}
+
+TEST(Machine, IntraSocketDevicePathSkipsXbus) {
+  hw::System sys(summitCfg(1));
+  auto path = sys.machine.deviceToDevicePath(0, 1);
+  ASSERT_EQ(path.size(), 2u);  // gpu0.up, gpu1.down
+  EXPECT_EQ(path[0]->name(), "n0.gpu0.up");
+  EXPECT_EQ(path[1]->name(), "n0.gpu1.down");
+}
+
+TEST(Machine, CrossSocketDevicePathUsesXbus) {
+  hw::System sys(summitCfg(1));
+  auto path = sys.machine.deviceToDevicePath(0, 4);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1]->name(), "n0.xbus0");
+}
+
+TEST(Machine, InterNodeDevicePathUsesNics) {
+  hw::System sys(summitCfg(2));
+  auto path = sys.machine.deviceToDevicePath(0, 6);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[1]->name(), "n0.nic.up");
+  EXPECT_EQ(path[2]->name(), "n1.nic.down");
+}
+
+TEST(Machine, SameDevicePathIsEmpty) {
+  hw::System sys(summitCfg(1));
+  EXPECT_TRUE(sys.machine.deviceToDevicePath(3, 3).empty());
+  EXPECT_TRUE(sys.machine.hostToHostPath(3, 3).empty());
+}
+
+TEST(Machine, HostPathsIntraVsInter) {
+  hw::System sys(summitCfg(2));
+  auto intra = sys.machine.hostToHostPath(0, 1);
+  ASSERT_EQ(intra.size(), 1u);
+  EXPECT_EQ(intra[0]->name(), "n0.shm");
+  auto inter = sys.machine.hostToHostPath(0, 6);
+  ASSERT_EQ(inter.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Link occupancy and the wormhole transfer model
+// --------------------------------------------------------------------------
+
+TEST(Link, ReserveSerialisesTransfers) {
+  hw::Link link("l", {1.0, 1.0});  // 1 us latency, 1 GB/s => 1 ns per byte
+  auto a1 = link.reserve(0, 1000);
+  EXPECT_EQ(a1, sim::usec(1.0) + 1000);
+  auto a2 = link.reserve(0, 1000);  // queued behind the first
+  EXPECT_EQ(a2, 1000 + sim::usec(1.0) + 1000);
+}
+
+TEST(Machine, SingleLinkTransferCost) {
+  hw::System sys(summitCfg(1));
+  auto path = sys.machine.hostToHostPath(0, 1);
+  const double shm_bw = sys.config.shm.bandwidth_gbps;
+  const std::uint64_t bytes = 65000;
+  auto arrival = sys.machine.transfer(path, 0, bytes);
+  EXPECT_EQ(arrival, sim::usec(0.25) + sim::transferTime(bytes, shm_bw));
+}
+
+TEST(Machine, CutThroughDoesNotStoreAndForward) {
+  // Inter-node host path: nicUp + nicDown, both 12.5 GB/s. Cut-through must
+  // cost ~ one serialisation, not two.
+  hw::System sys(summitCfg(2));
+  auto path = sys.machine.hostToHostPath(0, 6);
+  const std::uint64_t bytes = 4u << 20;
+  auto arrival = sys.machine.transfer(path, 0, bytes);
+  const double us = sim::toUs(arrival);
+  const double one_pass = sim::toUs(sim::transferTime(bytes, 12.5));
+  EXPECT_GT(us, one_pass);            // plus latencies
+  EXPECT_LT(us, 1.15 * one_pass + 5);  // far less than two serialisations
+}
+
+TEST(Machine, BottleneckLinkDominates) {
+  hw::System sys(summitCfg(2));
+  // Device inter-node direct path: nvlink(50) + ib(12.5) + ib(12.5) + nvlink(50).
+  auto path = sys.machine.deviceToDevicePath(0, 6);
+  const std::uint64_t bytes = 8u << 20;
+  auto arrival = sys.machine.transfer(path, 0, bytes);
+  const double expected_min = sim::toUs(sim::transferTime(bytes, 12.5));
+  EXPECT_GE(sim::toUs(arrival), expected_min);
+  EXPECT_LT(sim::toUs(arrival), expected_min * 1.3);
+}
+
+TEST(Machine, ContentionSharesBandwidth) {
+  hw::System sys(summitCfg(1));
+  // Two transfers over the same shm link back-to-back take twice as long.
+  auto p = sys.machine.hostToHostPath(0, 1);
+  const std::uint64_t bytes = 1u << 20;
+  auto a1 = sys.machine.transfer(p, 0, bytes);
+  auto a2 = sys.machine.transfer(p, 0, bytes);
+  EXPECT_GT(a2, a1);
+  EXPECT_NEAR(sim::toUs(a2),
+              2 * sim::toUs(sim::transferTime(bytes, sys.config.shm.bandwidth_gbps)) + 0.25,
+              1.0);
+}
+
+TEST(Machine, ResetOccupancyClearsState) {
+  hw::System sys(summitCfg(1));
+  auto p = sys.machine.hostToHostPath(0, 1);
+  sys.machine.transfer(p, 0, 1u << 20);
+  sys.machine.resetOccupancy();
+  auto a = sys.machine.transfer(p, 0, 1000);
+  EXPECT_EQ(a, sim::usec(0.25) + sim::transferTime(1000, sys.config.shm.bandwidth_gbps));
+}
+
+// --------------------------------------------------------------------------
+// Memory registry
+// --------------------------------------------------------------------------
+
+TEST(Memory, HostPointersClassifyAsHost) {
+  hw::System sys(summitCfg(1));
+  int x = 0;
+  EXPECT_FALSE(sys.memory.isDevice(&x));
+  EXPECT_EQ(sys.memory.deviceOf(&x), -1);
+  EXPECT_TRUE(sys.memory.dereferenceable(&x));
+}
+
+TEST(Memory, DeviceAllocClassifies) {
+  hw::System sys(summitCfg(1));
+  void* p = cuda::deviceAlloc(sys, 3, 4096, /*backed=*/true);
+  EXPECT_TRUE(sys.memory.isDevice(p));
+  EXPECT_EQ(sys.memory.deviceOf(p), 3);
+  EXPECT_TRUE(sys.memory.dereferenceable(p));
+  // Interior pointers classify too.
+  EXPECT_EQ(sys.memory.deviceOf(static_cast<char*>(p) + 4095), 3);
+  // One-past-end is not inside.
+  EXPECT_EQ(sys.memory.deviceOf(static_cast<char*>(p) + 4096), -1);
+  cuda::deviceFree(sys, p);
+  EXPECT_FALSE(sys.memory.isDevice(p));
+}
+
+TEST(Memory, UnbackedAllocationsAreNotDereferenceable) {
+  hw::System sys(summitCfg(1));
+  void* p = cuda::deviceAlloc(sys, 0, 1u << 30, /*backed=*/false);  // 1 GB, address space only
+  EXPECT_TRUE(sys.memory.isDevice(p));
+  EXPECT_FALSE(sys.memory.dereferenceable(p));
+  cuda::deviceFree(sys, p);
+}
+
+TEST(Memory, UnbackedHostRegions) {
+  hw::System sys(summitCfg(1));
+  void* p = sys.memory.allocHostUnbacked(1u << 20);
+  EXPECT_FALSE(sys.memory.isDevice(p));
+  EXPECT_FALSE(sys.memory.dereferenceable(p));
+  sys.memory.freeDevice(p);
+}
+
+TEST(Memory, ManyAllocationsTracked) {
+  hw::System sys(summitCfg(1));
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(cuda::deviceAlloc(sys, i % 6, 128, true));
+  EXPECT_EQ(sys.memory.liveAllocations(), 100u);
+  for (void* p : ptrs) EXPECT_TRUE(sys.memory.isDevice(p));
+  for (void* p : ptrs) cuda::deviceFree(sys, p);
+  EXPECT_EQ(sys.memory.liveAllocations(), 0u);
+  EXPECT_EQ(sys.memory.bytesAllocated(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// CUDA shim
+// --------------------------------------------------------------------------
+
+TEST(Cuda, MemcpyKindInference) {
+  hw::System sys(summitCfg(1));
+  cuda::DeviceBuffer d(sys, 0, 64);
+  int h = 0;
+  EXPECT_EQ(cuda::inferKind(sys, d.get(), &h), cuda::MemcpyKind::HostToDevice);
+  EXPECT_EQ(cuda::inferKind(sys, &h, d.get()), cuda::MemcpyKind::DeviceToHost);
+  EXPECT_EQ(cuda::inferKind(sys, d.get(), d.get()), cuda::MemcpyKind::DeviceToDevice);
+  int h2 = 0;
+  EXPECT_EQ(cuda::inferKind(sys, &h, &h2), cuda::MemcpyKind::HostToHost);
+}
+
+TEST(Cuda, RoundTripPreservesData) {
+  hw::System sys(summitCfg(1));
+  const std::size_t n = 4096;
+  std::vector<unsigned char> src(n), back(n, 0);
+  sim::SplitMix64 rng(1);
+  rng.fill(src.data(), n);
+
+  cuda::DeviceBuffer dev(sys, 0, n);
+  cuda::Stream s(sys, 0);
+  s.memcpyAsync(dev.get(), src.data(), n, cuda::MemcpyKind::HostToDevice);
+  s.memcpyAsync(back.data(), dev.get(), n, cuda::MemcpyKind::DeviceToHost);
+  bool done = false;
+  s.synchronize().onReady([&] { done = true; });
+  sys.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(src, back);
+}
+
+TEST(Cuda, CopiesAreDeferredUntilCompletion) {
+  hw::System sys(summitCfg(1));
+  std::vector<unsigned char> src(1024, 0xAB);
+  cuda::DeviceBuffer dev(sys, 0, 1024);
+  std::memset(dev.get(), 0, 1024);
+  cuda::Stream s(sys, 0);
+  s.memcpyAsync(dev.get(), src.data(), 1024, cuda::MemcpyKind::HostToDevice);
+  // Before the engine runs, device memory must be untouched (CUDA async
+  // semantics: visibility at completion).
+  EXPECT_EQ(static_cast<unsigned char*>(dev.get())[0], 0);
+  sys.engine.run();
+  EXPECT_EQ(static_cast<unsigned char*>(dev.get())[0], 0xAB);
+}
+
+TEST(Cuda, StreamOpsExecuteInOrder) {
+  hw::System sys(summitCfg(1));
+  cuda::Stream s(sys, 0);
+  std::vector<int> order;
+  s.launch(sim::usec(10), [&] { order.push_back(1); });
+  s.launch(sim::usec(1), [&] { order.push_back(2); });
+  s.launch(0, [&] { order.push_back(3); });
+  sys.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Cuda, MemcpyTimingMatchesLinkBandwidth) {
+  hw::System sys(summitCfg(1));
+  const std::uint64_t n = 64u << 20;  // 64 MB over 50 GB/s nvlink ~ 1342 us
+  cuda::DeviceBuffer dev(sys, 0, n, /*backed=*/false);
+  void* host = sys.memory.allocHostUnbacked(n);
+  cuda::Stream s(sys, 0);
+  s.memcpyAsync(dev.get(), host, n, cuda::MemcpyKind::HostToDevice);
+  sim::TimePoint done_at = 0;
+  s.synchronize().onReady([&] { done_at = sys.engine.now(); });
+  sys.engine.run();
+  const double us = sim::toUs(done_at);
+  const double transfer = sim::toUs(sim::transferTime(n, 50.0));
+  EXPECT_NEAR(us, transfer, 15.0);
+  sys.memory.freeDevice(host);
+}
+
+TEST(Cuda, SynchronizeOnIdleStreamStillCosts) {
+  hw::System sys(summitCfg(1));
+  cuda::Stream s(sys, 0);
+  sim::TimePoint at = 0;
+  s.synchronize().onReady([&] { at = sys.engine.now(); });
+  sys.engine.run();
+  EXPECT_EQ(at, sim::usec(sys.config.cuda_sync_us));
+}
+
+TEST(Cuda, UnbackedCopiesSkipByteMovement) {
+  hw::System sys(summitCfg(1));
+  cuda::DeviceBuffer dev(sys, 0, 1024, /*backed=*/false);
+  std::vector<unsigned char> host(1024, 7);
+  cuda::Stream s(sys, 0);
+  // Must not crash despite the PROT_NONE destination.
+  s.memcpyAsync(dev.get(), host.data(), 1024, cuda::MemcpyKind::HostToDevice);
+  s.memcpyAsync(host.data(), dev.get(), 1024, cuda::MemcpyKind::DeviceToHost);
+  sys.engine.run();
+  EXPECT_EQ(host[0], 7);  // unchanged: source was unbacked
+}
+
+TEST(Cuda, KernelTimingIncludesLaunchOverhead) {
+  hw::System sys(summitCfg(1));
+  cuda::Stream s(sys, 0);
+  sim::TimePoint done_at = 0;
+  s.launch(sim::usec(100), [&] { done_at = sys.engine.now(); });
+  sys.engine.run();
+  EXPECT_EQ(done_at,
+            sim::usec(sys.config.cuda_call_us + sys.config.kernel_launch_us + 100.0));
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "apps/osu/osu.hpp"
+#include "core/tag_scheme.hpp"
+#include "model/model.hpp"
+
+/// Calibration regression tests: pin the model to the quantitative anchors
+/// the paper states in prose (Sections IV-A/B). If a refactor or re-tuning
+/// moves a headline number out of its band, these tests catch it before the
+/// figure benches silently drift.
+
+namespace {
+
+using namespace cux;
+
+TEST(ModelConfig, SummitTopologyMatchesPaper) {
+  const auto m = model::summit(4);
+  EXPECT_EQ(m.machine.num_nodes, 4);
+  EXPECT_EQ(m.machine.gpus_per_node, 6);       // six V100s per AC922
+  EXPECT_EQ(m.machine.sockets_per_node, 2);    // two Power9s
+  EXPECT_DOUBLE_EQ(m.machine.nvlink.bandwidth_gbps, 50.0);  // "theoretical peak of 50 GB/s"
+  EXPECT_DOUBLE_EQ(m.machine.xbus.bandwidth_gbps, 64.0);    // "X-Bus ... 64 GB/s"
+  EXPECT_DOUBLE_EQ(m.machine.ib.bandwidth_gbps, 12.5);      // "EDR ... 12.5 GB/s"
+  EXPECT_EQ(m.machine.numPes(), 24);
+}
+
+TEST(ModelConfig, TagSchemeDefaultsMatchFig3) {
+  core::TagScheme t;
+  EXPECT_EQ(t.msg_bits, 4u);   // MSG_BITS(4)
+  EXPECT_EQ(t.pe_bits, 32u);   // PE_BITS (default: 32)
+  EXPECT_EQ(t.cnt_bits, 28u);  // CNT_BITS (default: 28)
+}
+
+TEST(ModelConfig, PackThresholdAt128K) {
+  // The AMPI-H eager->rendezvous switch the paper pins at 128 KB.
+  EXPECT_EQ(model::summit(1).costs.host_pack_threshold, 128u * 1024);
+}
+
+osu::BenchConfig quick(osu::Stack s, osu::Mode m, osu::Placement p) {
+  osu::BenchConfig cfg;
+  cfg.stack = s;
+  cfg.mode = m;
+  cfg.place = p;
+  cfg.iters = 10;
+  cfg.warmup = 3;
+  return cfg;
+}
+
+TEST(ModelAnchors, OpenMpiSmallDeviceLatencyNearTwoMicroseconds) {
+  // "the GPU-GPU transfer itself with UCX has a latency of less than 2 us,
+  // similar to OpenMPI" — intra-node, plus software overheads.
+  auto cfg = quick(osu::Stack::Ompi, osu::Mode::Device, osu::Placement::IntraNode);
+  const double us = osu::latencyPoint(cfg, 8);
+  EXPECT_GT(us, 1.5);
+  EXPECT_LT(us, 3.5);
+}
+
+TEST(ModelAnchors, AmpiOverheadAboveUcxNearEightMicroseconds) {
+  auto ampi = quick(osu::Stack::Ampi, osu::Mode::Device, osu::Placement::IntraNode);
+  auto ompi = quick(osu::Stack::Ompi, osu::Mode::Device, osu::Placement::IntraNode);
+  const double delta = osu::latencyPoint(ampi, 8) - osu::latencyPoint(ompi, 8);
+  EXPECT_GT(delta, 4.0);
+  EXPECT_LT(delta, 12.0);  // paper: "about 8 us"
+}
+
+TEST(ModelAnchors, PeakIntraNodeBandwidthNearNvlink) {
+  // Charm++ 44.7 GB/s, AMPI 45.4 GB/s in the paper.
+  for (osu::Stack s : {osu::Stack::Charm, osu::Stack::Ampi}) {
+    auto cfg = quick(s, osu::Mode::Device, osu::Placement::IntraNode);
+    const double gbps = osu::bandwidthPoint(cfg, 4u << 20) / 1000.0;
+    EXPECT_GT(gbps, 42.0) << osu::name(s);
+    EXPECT_LT(gbps, 50.0) << osu::name(s);
+  }
+}
+
+TEST(ModelAnchors, PeakInterNodeBandwidthNearTenGBs) {
+  // "Charm++ demonstrating up to ... 10 GB/s, and AMPI up to ... 10 GB/s".
+  for (osu::Stack s : {osu::Stack::Charm, osu::Stack::Ampi}) {
+    auto cfg = quick(s, osu::Mode::Device, osu::Placement::InterNode);
+    const double gbps = osu::bandwidthPoint(cfg, 4u << 20) / 1000.0;
+    EXPECT_GT(gbps, 9.0) << osu::name(s);
+    EXPECT_LT(gbps, 12.0) << osu::name(s);
+  }
+}
+
+TEST(ModelAnchors, Charm4pyIntraBandwidthBelowOthers) {
+  // Paper: 35.5 GB/s at 4 MB and still rising.
+  auto cfg = quick(osu::Stack::Charm4py, osu::Mode::Device, osu::Placement::IntraNode);
+  const double gbps = osu::bandwidthPoint(cfg, 4u << 20) / 1000.0;
+  EXPECT_GT(gbps, 30.0);
+  EXPECT_LT(gbps, 42.0);
+}
+
+TEST(ModelAnchors, TableOneLatencyRangesWithinBand) {
+  // Intra-node latency improvement ranges per stack (paper Table I), with a
+  // generous band: measured min in [1.5, 5], max in [7, 20].
+  for (osu::Stack s : {osu::Stack::Charm, osu::Stack::Ampi, osu::Stack::Charm4py}) {
+    auto h = quick(s, osu::Mode::HostStaging, osu::Placement::IntraNode);
+    auto d = quick(s, osu::Mode::Device, osu::Placement::IntraNode);
+    const double small = osu::latencyPoint(h, 8) / osu::latencyPoint(d, 8);
+    const double large = osu::latencyPoint(h, 4u << 20) / osu::latencyPoint(d, 4u << 20);
+    EXPECT_GT(small, 1.5) << osu::name(s);
+    EXPECT_LT(small, 5.0) << osu::name(s);
+    EXPECT_GT(large, 7.0) << osu::name(s);
+    EXPECT_LT(large, 20.0) << osu::name(s);
+  }
+}
+
+TEST(ModelAnchors, InterNodeImprovementSmallerThanIntra) {
+  for (osu::Stack s : {osu::Stack::Charm, osu::Stack::Ampi}) {
+    auto h_in = quick(s, osu::Mode::HostStaging, osu::Placement::IntraNode);
+    auto d_in = quick(s, osu::Mode::Device, osu::Placement::IntraNode);
+    auto h_x = quick(s, osu::Mode::HostStaging, osu::Placement::InterNode);
+    auto d_x = quick(s, osu::Mode::Device, osu::Placement::InterNode);
+    const std::size_t n = 4u << 20;
+    const double intra = osu::latencyPoint(h_in, n) / osu::latencyPoint(d_in, n);
+    const double inter = osu::latencyPoint(h_x, n) / osu::latencyPoint(d_x, n);
+    EXPECT_GT(intra, inter) << osu::name(s);
+  }
+}
+
+}  // namespace

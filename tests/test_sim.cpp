@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace cux;
+
+TEST(Engine, StartsAtTimeZero) {
+  sim::Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule(300, [&] { order.push_back(3); });
+  e.schedule(100, [&] { order.push_back(1); });
+  e.schedule(200, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 300u);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  sim::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule(42, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, PastSchedulesClampToNow) {
+  sim::Engine e;
+  sim::TimePoint seen = 1;
+  e.schedule(100, [&] {
+    e.schedule(10, [&] { seen = e.now(); });  // in the past: clamps to 100
+  });
+  e.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  sim::Engine e;
+  sim::TimePoint seen = 0;
+  e.schedule(50, [&] { e.after(25, [&] { seen = e.now(); }); });
+  e.run();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  sim::Engine e;
+  bool ran = false;
+  auto id = e.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CancelTwiceFails) {
+  sim::Engine e;
+  auto id = e.schedule(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelFiredEventFails) {
+  sim::Engine e;
+  auto id = e.schedule(10, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsBeforeLaterEvents) {
+  sim::Engine e;
+  int count = 0;
+  e.schedule(10, [&] { ++count; });
+  e.schedule(20, [&] { ++count; });
+  e.schedule(30, [&] { ++count; });
+  EXPECT_FALSE(e.runUntil(25));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 25u);
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, StopInterruptsRun) {
+  sim::Engine e;
+  int count = 0;
+  e.schedule(10, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule(20, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, ReentrantSchedulingFromCallback) {
+  sim::Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.after(1, chain);
+  };
+  e.schedule(0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto trace = [] {
+    sim::Engine e;
+    sim::SplitMix64 rng(7);
+    std::vector<sim::TimePoint> t;
+    for (int i = 0; i < 200; ++i) {
+      e.schedule(rng.below(1000), [&t, &e] { t.push_back(e.now()); });
+    }
+    e.run();
+    return t;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(Time, UnitConversionsRoundTrip) {
+  EXPECT_EQ(sim::usec(1.0), 1000u);
+  EXPECT_EQ(sim::msec(1.0), 1000000u);
+  EXPECT_DOUBLE_EQ(sim::toUs(sim::usec(12.5)), 12.5);
+  EXPECT_EQ(sim::usec(0.0), 0u);
+  EXPECT_EQ(sim::usec(-5.0), 0u);
+}
+
+TEST(Time, TransferTimeMatchesBandwidth) {
+  // 1 GB at 1 GB/s = 1 second = 1e9 ns.
+  EXPECT_EQ(sim::transferTime(1'000'000'000, 1.0), 1'000'000'000u);
+  // 4 MB at 50 GB/s = 80 us.
+  EXPECT_NEAR(sim::toUs(sim::transferTime(4u << 20, 50.0)), 83.89, 0.1);
+  EXPECT_EQ(sim::transferTime(0, 50.0), 0u);
+}
+
+TEST(Future, CallbackFiresOnSet) {
+  sim::Promise<int> p;
+  int seen = 0;
+  p.future().onReady([&](const int& v) { seen = v; });
+  EXPECT_FALSE(p.ready());
+  p.set(42);
+  EXPECT_EQ(seen, 42);
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(Future, CallbackAfterReadyFiresImmediately) {
+  sim::Promise<void> p;
+  p.set();
+  bool seen = false;
+  p.future().onReady([&] { seen = true; });
+  EXPECT_TRUE(seen);
+}
+
+TEST(Future, AllOfWaitsForEveryInput) {
+  std::vector<sim::Promise<void>> ps(5);
+  std::vector<sim::Future<void>> fs;
+  for (auto& p : ps) fs.push_back(p.future());
+  auto all = sim::allOf(fs);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_FALSE(all.ready());
+    ps[i].set();
+  }
+  EXPECT_TRUE(all.ready());
+}
+
+TEST(Future, AllOfEmptyIsImmediatelyReady) {
+  EXPECT_TRUE(sim::allOf({}).ready());
+}
+
+sim::SimTask sleepTask(sim::Engine& e, sim::TimePoint& woke) {
+  co_await sim::delay(e, sim::usec(5));
+  woke = e.now();
+}
+
+TEST(Coroutine, DelayResumesAtRightTime) {
+  sim::Engine e;
+  sim::TimePoint woke = 0;
+  (void)sleepTask(e, woke);
+  e.run();
+  EXPECT_EQ(woke, sim::usec(5));
+}
+
+sim::SimTask awaitFutureTask(sim::Future<int> f, int& out) {
+  out = co_await f;
+}
+
+TEST(Coroutine, AwaitFutureSuspendsUntilSet) {
+  sim::Engine e;
+  sim::Promise<int> p;
+  int out = 0;
+  (void)awaitFutureTask(p.future(), out);
+  EXPECT_EQ(out, 0);
+  e.schedule(100, [&] { p.set(7); });
+  e.run();
+  EXPECT_EQ(out, 7);
+}
+
+sim::FutureTask chainTask(sim::Engine& e) {
+  co_await sim::delay(e, 10);
+  co_await sim::delay(e, 10);
+}
+
+TEST(Coroutine, FutureTaskCompletionObservable) {
+  sim::Engine e;
+  auto t = chainTask(e);
+  EXPECT_FALSE(t.future().ready());
+  e.run();
+  EXPECT_TRUE(t.future().ready());
+  EXPECT_EQ(e.now(), 20u);
+}
+
+sim::FutureTask nestedInner(sim::Engine& e) { co_await sim::delay(e, 30); }
+sim::FutureTask nestedOuter(sim::Engine& e, sim::TimePoint& done) {
+  co_await nestedInner(e);
+  done = e.now();
+}
+
+TEST(Coroutine, TasksCompose) {
+  sim::Engine e;
+  sim::TimePoint done = 0;
+  auto t = nestedOuter(e, done);
+  e.run();
+  EXPECT_EQ(done, 30u);
+  EXPECT_TRUE(t.future().ready());
+}
+
+TEST(Rng, DeterministicStream) {
+  sim::SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BetweenStaysInRange) {
+  sim::SplitMix64 r(99);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.between(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, FillIsReproducible) {
+  sim::SplitMix64 a(5), b(5);
+  std::vector<unsigned char> x(37), y(37);
+  a.fill(x.data(), x.size());
+  b.fill(y.data(), y.size());
+  EXPECT_EQ(x, y);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "sim/rng.hpp"
+#include "ucx/context.hpp"
+
+/// Protocol-knob fuzzing: data integrity must hold for ANY combination of
+/// eager thresholds, pipeline chunk sizes and GDRCopy availability — the
+/// protocol-selection boundaries are where real transports break.
+
+namespace {
+
+using namespace cux;
+
+struct KnobParam {
+  std::size_t host_eager;
+  std::size_t device_eager;
+  std::size_t chunk;
+  bool gdrcopy;
+};
+
+class UcxKnobMatrix : public ::testing::TestWithParam<KnobParam> {};
+
+TEST_P(UcxKnobMatrix, IntegrityAcrossAllProtocolBoundaries) {
+  const auto p = GetParam();
+  model::Model m = model::summit(2);
+  m.ucx.host_eager_threshold = p.host_eager;
+  m.ucx.device_eager_threshold = p.device_eager;
+  m.ucx.rndv_pipeline_chunk = p.chunk;
+  m.ucx.gdrcopy_enabled = p.gdrcopy;
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+
+  sim::SplitMix64 rng(0xF00D);
+  // Sizes straddling every configured boundary, plus random ones.
+  std::vector<std::size_t> sizes{1, p.device_eager, p.device_eager + 1, p.host_eager,
+                                 p.host_eager + 1, p.chunk - 1, p.chunk, p.chunk + 1,
+                                 3 * p.chunk + 17};
+  for (int i = 0; i < 4; ++i) sizes.push_back(1 + rng.below(2u << 20));
+
+  int tag = 100;
+  for (std::size_t n : sizes) {
+    if (n == 0) continue;
+    for (const bool dev_src : {false, true}) {
+      for (const bool dev_dst : {false, true}) {
+        for (const int dst_pe : {1, 6}) {
+          std::vector<std::byte> ref(n);
+          rng.fill(ref.data(), n);
+          void* src;
+          void* dst;
+          std::vector<std::byte> hsrc, hdst;
+          if (dev_src) {
+            src = cuda::deviceAlloc(sys, 0, n, true);
+          } else {
+            hsrc.resize(n);
+            src = hsrc.data();
+          }
+          std::memcpy(src, ref.data(), n);
+          if (dev_dst) {
+            dst = cuda::deviceAlloc(sys, dst_pe, n, true);
+          } else {
+            hdst.resize(n);
+            dst = hdst.data();
+          }
+          bool done = false;
+          ctx.worker(dst_pe).tagRecv(dst, n, static_cast<ucx::Tag>(tag), ucx::kFullMask,
+                                     [&](ucx::Request&) { done = true; });
+          ctx.tagSend(0, dst_pe, src, n, static_cast<ucx::Tag>(tag), {});
+          sys.engine.run();
+          ASSERT_TRUE(done) << "n=" << n << " dev_src=" << dev_src << " dev_dst=" << dev_dst;
+          ASSERT_EQ(std::memcmp(dst, ref.data(), n), 0)
+              << "n=" << n << " dev_src=" << dev_src << " dev_dst=" << dev_dst
+              << " dst_pe=" << dst_pe;
+          if (dev_src) cuda::deviceFree(sys, src);
+          if (dev_dst) cuda::deviceFree(sys, dst);
+          ++tag;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, UcxKnobMatrix,
+    ::testing::Values(KnobParam{8192, 4096, 256 * 1024, true},     // defaults
+                      KnobParam{1, 1, 64 * 1024, true},            // everything rendezvous
+                      KnobParam{1u << 21, 1u << 21, 128 * 1024, true},  // everything eager
+                      KnobParam{8192, 4096, 256 * 1024, false},    // no GDRCopy
+                      KnobParam{1024, 65536, 32 * 1024, false},    // inverted thresholds
+                      KnobParam{8192, 4096, 1u << 22, true}),      // chunk > message
+    [](const ::testing::TestParamInfo<KnobParam>& info) {
+      const auto& p = info.param;
+      return "he" + std::to_string(p.host_eager) + "_de" + std::to_string(p.device_eager) +
+             "_ch" + std::to_string(p.chunk) + (p.gdrcopy ? "_gdr" : "_nogdr");
+    });
+
+}  // namespace

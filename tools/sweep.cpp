@@ -1,0 +1,170 @@
+/// gpucomm_sweep — command-line driver for arbitrary measurement sweeps.
+///
+/// Lets a user run any point of the paper's evaluation space (and beyond)
+/// without writing code:
+///
+///   gpucomm_sweep --metric latency  --stack ampi --place inter
+///   gpucomm_sweep --metric bandwidth --stack charm4py --mode host --sizes 4096,65536
+///   gpucomm_sweep --metric jacobi --stack charm --nodes 8 --grid 3072,3072,3072 --odf 4
+///
+/// Output is CSV on stdout (one row per size / per node count).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi/jacobi.hpp"
+#include "apps/osu/osu.hpp"
+
+using namespace cux;
+
+namespace {
+
+struct Args {
+  std::string metric = "latency";  // latency | bandwidth | jacobi
+  osu::Stack stack = osu::Stack::Charm;
+  osu::Mode mode = osu::Mode::Device;
+  osu::Placement place = osu::Placement::IntraNode;
+  int nodes = 2;
+  std::vector<std::size_t> sizes;
+  int iters = 20;
+  int warmup = 5;
+  int window = 64;
+  jacobi::Vec3 grid{1536, 1536, 1536};
+  int odf = 1;
+  bool gdrcopy = true;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --metric latency|bandwidth|jacobi   what to measure (default latency)\n"
+      "  --stack charm|ampi|ompi|charm4py    programming model (default charm)\n"
+      "  --mode device|host                  GPU-aware (-D) or host-staging (-H)\n"
+      "  --place intra|inter                 PE placement for micro-benchmarks\n"
+      "  --nodes N                           simulated Summit nodes (default 2)\n"
+      "  --sizes a,b,c                       message sizes in bytes (default: OSU sweep)\n"
+      "  --iters N --warmup N --window N     benchmark repetition knobs\n"
+      "  --grid X,Y,Z                        Jacobi global grid (default 1536^3)\n"
+      "  --odf N                             Jacobi overdecomposition (charm only)\n"
+      "  --no-gdrcopy                        simulate GDRCopy not being detected\n",
+      argv0);
+  std::exit(2);
+}
+
+std::vector<std::size_t> parseSizes(const char* s) {
+  std::vector<std::size_t> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    out.push_back(std::strtoull(p, &end, 10));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--metric") {
+      a.metric = need(i);
+    } else if (opt == "--stack") {
+      const std::string v = need(i);
+      if (v == "charm") {
+        a.stack = osu::Stack::Charm;
+      } else if (v == "ampi") {
+        a.stack = osu::Stack::Ampi;
+      } else if (v == "ompi") {
+        a.stack = osu::Stack::Ompi;
+      } else if (v == "charm4py") {
+        a.stack = osu::Stack::Charm4py;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (opt == "--mode") {
+      const std::string v = need(i);
+      a.mode = v == "host" ? osu::Mode::HostStaging : osu::Mode::Device;
+    } else if (opt == "--place") {
+      const std::string v = need(i);
+      a.place = v == "inter" ? osu::Placement::InterNode : osu::Placement::IntraNode;
+    } else if (opt == "--nodes") {
+      a.nodes = std::atoi(need(i));
+    } else if (opt == "--sizes") {
+      a.sizes = parseSizes(need(i));
+    } else if (opt == "--iters") {
+      a.iters = std::atoi(need(i));
+    } else if (opt == "--warmup") {
+      a.warmup = std::atoi(need(i));
+    } else if (opt == "--window") {
+      a.window = std::atoi(need(i));
+    } else if (opt == "--odf") {
+      a.odf = std::atoi(need(i));
+    } else if (opt == "--no-gdrcopy") {
+      a.gdrcopy = false;
+    } else if (opt == "--grid") {
+      const auto v = parseSizes(need(i));
+      if (v.size() != 3) usage(argv[0]);
+      a.grid = {static_cast<std::int64_t>(v[0]), static_cast<std::int64_t>(v[1]),
+                static_cast<std::int64_t>(v[2])};
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return a;
+}
+
+int runMicro(const Args& a) {
+  osu::BenchConfig cfg;
+  cfg.stack = a.stack;
+  cfg.mode = a.mode;
+  cfg.place = a.place;
+  cfg.sizes = a.sizes;
+  cfg.iters = a.iters;
+  cfg.warmup = a.warmup;
+  cfg.window = a.window;
+  cfg.model = model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
+  cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+  const bool lat = a.metric == "latency";
+  const auto pts = lat ? osu::runLatency(cfg) : osu::runBandwidth(cfg);
+  std::printf("size_bytes,%s\n", lat ? "one_way_latency_us" : "bandwidth_MBps");
+  for (const auto& p : pts) std::printf("%zu,%.3f\n", p.bytes, p.value);
+  return 0;
+}
+
+int runJacobi(const Args& a) {
+  jacobi::JacobiConfig cfg;
+  cfg.stack = static_cast<jacobi::Stack>(a.stack);
+  cfg.mode = a.mode;
+  cfg.nodes = a.nodes;
+  cfg.grid = a.grid;
+  cfg.iters = a.iters;
+  cfg.warmup = a.warmup;
+  cfg.backed = false;
+  cfg.overdecomposition = a.odf;
+  cfg.model = model::summit(a.nodes);
+  cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+  const auto r = jacobi::runJacobi(cfg);
+  std::printf("nodes,grid,procs,overall_ms_per_iter,comm_ms_per_iter\n");
+  std::printf("%d,%lldx%lldx%lld,%lldx%lldx%lld,%.3f,%.3f\n", a.nodes,
+              static_cast<long long>(a.grid.x), static_cast<long long>(a.grid.y),
+              static_cast<long long>(a.grid.z), static_cast<long long>(r.dec.procs.x),
+              static_cast<long long>(r.dec.procs.y), static_cast<long long>(r.dec.procs.z),
+              r.overall_ms_per_iter, r.comm_ms_per_iter);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.metric == "latency" || a.metric == "bandwidth") return runMicro(a);
+  if (a.metric == "jacobi") return runJacobi(a);
+  usage(argv[0]);
+}
