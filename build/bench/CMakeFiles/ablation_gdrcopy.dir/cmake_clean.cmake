@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gdrcopy.dir/ablation_gdrcopy.cpp.o"
+  "CMakeFiles/ablation_gdrcopy.dir/ablation_gdrcopy.cpp.o.d"
+  "ablation_gdrcopy"
+  "ablation_gdrcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gdrcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

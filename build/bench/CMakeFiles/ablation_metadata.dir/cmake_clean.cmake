@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metadata.dir/ablation_metadata.cpp.o"
+  "CMakeFiles/ablation_metadata.dir/ablation_metadata.cpp.o.d"
+  "ablation_metadata"
+  "ablation_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_smp.cpp" "bench/CMakeFiles/ablation_smp.dir/ablation_smp.cpp.o" "gcc" "bench/CMakeFiles/ablation_smp.dir/ablation_smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cux_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ampi/CMakeFiles/cux_ampi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompi/CMakeFiles/cux_ompi.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm4py/CMakeFiles/cux_charm4py.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm/CMakeFiles/cux_charm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converse/CMakeFiles/cux_converse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cux_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucx/CMakeFiles/cux_ucx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cux_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

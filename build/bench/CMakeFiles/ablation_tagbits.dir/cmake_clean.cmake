@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagbits.dir/ablation_tagbits.cpp.o"
+  "CMakeFiles/ablation_tagbits.dir/ablation_tagbits.cpp.o.d"
+  "ablation_tagbits"
+  "ablation_tagbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

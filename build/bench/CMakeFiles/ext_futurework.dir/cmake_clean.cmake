@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_futurework.dir/ext_futurework.cpp.o"
+  "CMakeFiles/ext_futurework.dir/ext_futurework.cpp.o.d"
+  "ext_futurework"
+  "ext_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_osu_suite.dir/ext_osu_suite.cpp.o"
+  "CMakeFiles/ext_osu_suite.dir/ext_osu_suite.cpp.o.d"
+  "ext_osu_suite"
+  "ext_osu_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_osu_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

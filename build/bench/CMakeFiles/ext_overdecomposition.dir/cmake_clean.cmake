@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_overdecomposition.dir/ext_overdecomposition.cpp.o"
+  "CMakeFiles/ext_overdecomposition.dir/ext_overdecomposition.cpp.o.d"
+  "ext_overdecomposition"
+  "ext_overdecomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_overdecomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_particles.dir/ext_particles.cpp.o"
+  "CMakeFiles/ext_particles.dir/ext_particles.cpp.o.d"
+  "ext_particles"
+  "ext_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

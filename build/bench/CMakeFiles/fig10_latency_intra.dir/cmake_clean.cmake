@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_intra.dir/fig10_latency_intra.cpp.o"
+  "CMakeFiles/fig10_latency_intra.dir/fig10_latency_intra.cpp.o.d"
+  "fig10_latency_intra"
+  "fig10_latency_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

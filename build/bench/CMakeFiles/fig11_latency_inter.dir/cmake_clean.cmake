@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_latency_inter.dir/fig11_latency_inter.cpp.o"
+  "CMakeFiles/fig11_latency_inter.dir/fig11_latency_inter.cpp.o.d"
+  "fig11_latency_inter"
+  "fig11_latency_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_latency_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

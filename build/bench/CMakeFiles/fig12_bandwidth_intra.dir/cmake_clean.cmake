@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bandwidth_intra.dir/fig12_bandwidth_intra.cpp.o"
+  "CMakeFiles/fig12_bandwidth_intra.dir/fig12_bandwidth_intra.cpp.o.d"
+  "fig12_bandwidth_intra"
+  "fig12_bandwidth_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bandwidth_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

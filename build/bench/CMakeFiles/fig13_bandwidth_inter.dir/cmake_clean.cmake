@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bandwidth_inter.dir/fig13_bandwidth_inter.cpp.o"
+  "CMakeFiles/fig13_bandwidth_inter.dir/fig13_bandwidth_inter.cpp.o.d"
+  "fig13_bandwidth_inter"
+  "fig13_bandwidth_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bandwidth_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

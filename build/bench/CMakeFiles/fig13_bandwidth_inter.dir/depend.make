@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_bandwidth_inter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_jacobi_charm.dir/fig14_jacobi_charm.cpp.o"
+  "CMakeFiles/fig14_jacobi_charm.dir/fig14_jacobi_charm.cpp.o.d"
+  "fig14_jacobi_charm"
+  "fig14_jacobi_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_jacobi_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

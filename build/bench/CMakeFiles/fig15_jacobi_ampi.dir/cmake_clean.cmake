@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_jacobi_ampi.dir/fig15_jacobi_ampi.cpp.o"
+  "CMakeFiles/fig15_jacobi_ampi.dir/fig15_jacobi_ampi.cpp.o.d"
+  "fig15_jacobi_ampi"
+  "fig15_jacobi_ampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_jacobi_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_jacobi_charm4py.dir/fig16_jacobi_charm4py.cpp.o"
+  "CMakeFiles/fig16_jacobi_charm4py.dir/fig16_jacobi_charm4py.cpp.o.d"
+  "fig16_jacobi_charm4py"
+  "fig16_jacobi_charm4py.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_jacobi_charm4py.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

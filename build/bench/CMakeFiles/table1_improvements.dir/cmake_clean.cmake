@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_improvements.dir/table1_improvements.cpp.o"
+  "CMakeFiles/table1_improvements.dir/table1_improvements.cpp.o.d"
+  "table1_improvements"
+  "table1_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_pingpong.dir/ampi_pingpong.cpp.o"
+  "CMakeFiles/ampi_pingpong.dir/ampi_pingpong.cpp.o.d"
+  "ampi_pingpong"
+  "ampi_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

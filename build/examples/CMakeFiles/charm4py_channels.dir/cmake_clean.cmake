@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charm4py_channels.dir/charm4py_channels.cpp.o"
+  "CMakeFiles/charm4py_channels.dir/charm4py_channels.cpp.o.d"
+  "charm4py_channels"
+  "charm4py_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charm4py_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_ampi.dir/ampi.cpp.o"
+  "CMakeFiles/cux_ampi.dir/ampi.cpp.o.d"
+  "libcux_ampi.a"
+  "libcux_ampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

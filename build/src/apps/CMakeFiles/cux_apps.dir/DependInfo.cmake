@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/jacobi/block.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/block.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/block.cpp.o.d"
+  "/root/repo/src/apps/jacobi/geometry.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/geometry.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/geometry.cpp.o.d"
+  "/root/repo/src/apps/jacobi/jacobi_c4p.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_c4p.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_c4p.cpp.o.d"
+  "/root/repo/src/apps/jacobi/jacobi_charm.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_charm.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_charm.cpp.o.d"
+  "/root/repo/src/apps/jacobi/jacobi_common.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_common.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_common.cpp.o.d"
+  "/root/repo/src/apps/jacobi/jacobi_mpi.cpp" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_mpi.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/jacobi/jacobi_mpi.cpp.o.d"
+  "/root/repo/src/apps/osu/osu_c4p.cpp" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_c4p.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_c4p.cpp.o.d"
+  "/root/repo/src/apps/osu/osu_charm.cpp" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_charm.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_charm.cpp.o.d"
+  "/root/repo/src/apps/osu/osu_common.cpp" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_common.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_common.cpp.o.d"
+  "/root/repo/src/apps/osu/osu_mpi.cpp" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_mpi.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/osu/osu_mpi.cpp.o.d"
+  "/root/repo/src/apps/particles/particles.cpp" "src/apps/CMakeFiles/cux_apps.dir/particles/particles.cpp.o" "gcc" "src/apps/CMakeFiles/cux_apps.dir/particles/particles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ampi/CMakeFiles/cux_ampi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompi/CMakeFiles/cux_ompi.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm4py/CMakeFiles/cux_charm4py.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm/CMakeFiles/cux_charm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/converse/CMakeFiles/cux_converse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cux_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucx/CMakeFiles/cux_ucx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cux_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

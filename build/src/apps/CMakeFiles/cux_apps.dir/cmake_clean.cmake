@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_apps.dir/jacobi/block.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/block.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/jacobi/geometry.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/geometry.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_c4p.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_c4p.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_charm.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_charm.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_common.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_common.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_mpi.cpp.o"
+  "CMakeFiles/cux_apps.dir/jacobi/jacobi_mpi.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/osu/osu_c4p.cpp.o"
+  "CMakeFiles/cux_apps.dir/osu/osu_c4p.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/osu/osu_charm.cpp.o"
+  "CMakeFiles/cux_apps.dir/osu/osu_charm.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/osu/osu_common.cpp.o"
+  "CMakeFiles/cux_apps.dir/osu/osu_common.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/osu/osu_mpi.cpp.o"
+  "CMakeFiles/cux_apps.dir/osu/osu_mpi.cpp.o.d"
+  "CMakeFiles/cux_apps.dir/particles/particles.cpp.o"
+  "CMakeFiles/cux_apps.dir/particles/particles.cpp.o.d"
+  "libcux_apps.a"
+  "libcux_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

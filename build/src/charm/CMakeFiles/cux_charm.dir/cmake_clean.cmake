@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_charm.dir/charm.cpp.o"
+  "CMakeFiles/cux_charm.dir/charm.cpp.o.d"
+  "libcux_charm.a"
+  "libcux_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

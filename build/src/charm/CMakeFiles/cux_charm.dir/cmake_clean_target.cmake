@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcux_charm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_charm4py.dir/charm4py.cpp.o"
+  "CMakeFiles/cux_charm4py.dir/charm4py.cpp.o.d"
+  "libcux_charm4py.a"
+  "libcux_charm4py.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_charm4py.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

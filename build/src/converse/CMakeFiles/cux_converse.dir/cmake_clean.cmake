@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_converse.dir/converse.cpp.o"
+  "CMakeFiles/cux_converse.dir/converse.cpp.o.d"
+  "libcux_converse.a"
+  "libcux_converse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

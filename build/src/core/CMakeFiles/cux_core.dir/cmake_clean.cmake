@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_core.dir/device_comm.cpp.o"
+  "CMakeFiles/cux_core.dir/device_comm.cpp.o.d"
+  "libcux_core.a"
+  "libcux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

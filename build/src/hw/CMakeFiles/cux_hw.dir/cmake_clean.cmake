@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_hw.dir/cuda.cpp.o"
+  "CMakeFiles/cux_hw.dir/cuda.cpp.o.d"
+  "CMakeFiles/cux_hw.dir/machine.cpp.o"
+  "CMakeFiles/cux_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/cux_hw.dir/memory.cpp.o"
+  "CMakeFiles/cux_hw.dir/memory.cpp.o.d"
+  "libcux_hw.a"
+  "libcux_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

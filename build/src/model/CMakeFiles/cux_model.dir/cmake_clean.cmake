@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_model.dir/summit_model.cpp.o"
+  "CMakeFiles/cux_model.dir/summit_model.cpp.o.d"
+  "libcux_model.a"
+  "libcux_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_ompi.dir/ompi.cpp.o"
+  "CMakeFiles/cux_ompi.dir/ompi.cpp.o.d"
+  "libcux_ompi.a"
+  "libcux_ompi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_ompi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_sim.dir/engine.cpp.o"
+  "CMakeFiles/cux_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cux_sim.dir/trace.cpp.o"
+  "CMakeFiles/cux_sim.dir/trace.cpp.o.d"
+  "libcux_sim.a"
+  "libcux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucx/am.cpp" "src/ucx/CMakeFiles/cux_ucx.dir/am.cpp.o" "gcc" "src/ucx/CMakeFiles/cux_ucx.dir/am.cpp.o.d"
+  "/root/repo/src/ucx/rma.cpp" "src/ucx/CMakeFiles/cux_ucx.dir/rma.cpp.o" "gcc" "src/ucx/CMakeFiles/cux_ucx.dir/rma.cpp.o.d"
+  "/root/repo/src/ucx/stream.cpp" "src/ucx/CMakeFiles/cux_ucx.dir/stream.cpp.o" "gcc" "src/ucx/CMakeFiles/cux_ucx.dir/stream.cpp.o.d"
+  "/root/repo/src/ucx/ucx.cpp" "src/ucx/CMakeFiles/cux_ucx.dir/ucx.cpp.o" "gcc" "src/ucx/CMakeFiles/cux_ucx.dir/ucx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/cux_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

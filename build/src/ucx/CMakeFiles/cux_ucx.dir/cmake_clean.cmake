@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cux_ucx.dir/am.cpp.o"
+  "CMakeFiles/cux_ucx.dir/am.cpp.o.d"
+  "CMakeFiles/cux_ucx.dir/rma.cpp.o"
+  "CMakeFiles/cux_ucx.dir/rma.cpp.o.d"
+  "CMakeFiles/cux_ucx.dir/stream.cpp.o"
+  "CMakeFiles/cux_ucx.dir/stream.cpp.o.d"
+  "CMakeFiles/cux_ucx.dir/ucx.cpp.o"
+  "CMakeFiles/cux_ucx.dir/ucx.cpp.o.d"
+  "libcux_ucx.a"
+  "libcux_ucx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cux_ucx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_usertag.dir/test_am_usertag.cpp.o"
+  "CMakeFiles/test_am_usertag.dir/test_am_usertag.cpp.o.d"
+  "test_am_usertag"
+  "test_am_usertag.pdb"
+  "test_am_usertag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_usertag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_am_usertag.
+# This may be replaced when dependencies are built.

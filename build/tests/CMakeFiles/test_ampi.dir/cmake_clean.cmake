@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ampi.dir/test_ampi.cpp.o"
+  "CMakeFiles/test_ampi.dir/test_ampi.cpp.o.d"
+  "test_ampi"
+  "test_ampi.pdb"
+  "test_ampi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

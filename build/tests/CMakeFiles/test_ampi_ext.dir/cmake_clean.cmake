@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ampi_ext.dir/test_ampi_ext.cpp.o"
+  "CMakeFiles/test_ampi_ext.dir/test_ampi_ext.cpp.o.d"
+  "test_ampi_ext"
+  "test_ampi_ext.pdb"
+  "test_ampi_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ampi_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charm4py.dir/test_charm4py.cpp.o"
+  "CMakeFiles/test_charm4py.dir/test_charm4py.cpp.o.d"
+  "test_charm4py"
+  "test_charm4py.pdb"
+  "test_charm4py[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charm4py.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charm_group.dir/test_charm_group.cpp.o"
+  "CMakeFiles/test_charm_group.dir/test_charm_group.cpp.o.d"
+  "test_charm_group"
+  "test_charm_group.pdb"
+  "test_charm_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charm_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

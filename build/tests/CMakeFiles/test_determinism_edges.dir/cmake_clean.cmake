@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism_edges.dir/test_determinism_edges.cpp.o"
+  "CMakeFiles/test_determinism_edges.dir/test_determinism_edges.cpp.o.d"
+  "test_determinism_edges"
+  "test_determinism_edges.pdb"
+  "test_determinism_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompi.dir/test_ompi.cpp.o"
+  "CMakeFiles/test_ompi.dir/test_ompi.cpp.o.d"
+  "test_ompi"
+  "test_ompi.pdb"
+  "test_ompi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucx.dir/test_ucx.cpp.o"
+  "CMakeFiles/test_ucx.dir/test_ucx.cpp.o.d"
+  "test_ucx"
+  "test_ucx.pdb"
+  "test_ucx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

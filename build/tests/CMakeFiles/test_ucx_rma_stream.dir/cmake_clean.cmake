@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucx_rma_stream.dir/test_ucx_rma_stream.cpp.o"
+  "CMakeFiles/test_ucx_rma_stream.dir/test_ucx_rma_stream.cpp.o.d"
+  "test_ucx_rma_stream"
+  "test_ucx_rma_stream.pdb"
+  "test_ucx_rma_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucx_rma_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

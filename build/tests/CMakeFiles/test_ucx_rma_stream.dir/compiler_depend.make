@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ucx_rma_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_ucx[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_charm[1]_include.cmake")
+include("/root/repo/build/tests/test_ampi[1]_include.cmake")
+include("/root/repo/build/tests/test_ompi[1]_include.cmake")
+include("/root/repo/build/tests/test_charm4py[1]_include.cmake")
+include("/root/repo/build/tests/test_jacobi[1]_include.cmake")
+include("/root/repo/build/tests/test_osu[1]_include.cmake")
+include("/root/repo/build/tests/test_coll[1]_include.cmake")
+include("/root/repo/build/tests/test_ampi_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_ucx_rma_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_charm_group[1]_include.cmake")
+include("/root/repo/build/tests/test_pup_pe[1]_include.cmake")
+include("/root/repo/build/tests/test_am_usertag[1]_include.cmake")
+include("/root/repo/build/tests/test_ampi_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_ucx_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_particles[1]_include.cmake")
+include("/root/repo/build/tests/test_charm_array[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

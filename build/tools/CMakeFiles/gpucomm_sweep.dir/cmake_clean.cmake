@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpucomm_sweep.dir/sweep.cpp.o"
+  "CMakeFiles/gpucomm_sweep.dir/sweep.cpp.o.d"
+  "gpucomm_sweep"
+  "gpucomm_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpucomm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
