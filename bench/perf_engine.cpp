@@ -8,14 +8,25 @@
 #include "ucx/context.hpp"
 
 /// Real-time (wall-clock) performance of the simulator's hot paths with
-/// google-benchmark: event-queue throughput, tag matching, memory
+/// google-benchmark: event-queue throughput under the schedule/cancel mixes
+/// the communication layers actually generate, tag matching, memory
 /// classification, and end-to-end simulated messages per second. These are
 /// the costs a user of this library actually pays to run the figure benches.
+///
+/// The engine cases feed BENCH_engine.json (see EXPERIMENTS.md): run with
+///   perf_engine --benchmark_filter=BM_Engine --benchmark_format=json
+/// before and after touching src/sim/engine.* and record both.
 
 using namespace cux;
 
 namespace {
 
+// --------------------------------------------------------------------------
+// Event-engine throughput
+// --------------------------------------------------------------------------
+
+/// Schedule-heavy mix: N events at random times, zero cancellations. This is
+/// the common case — the figure benches cancel nothing.
 void BM_EngineScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -30,6 +41,126 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384)->Arg(131072);
+
+/// Schedule with a payload capture the size of a completion continuation
+/// (request pointer + completion function), the dominant event shape in
+/// ucx.cpp; exercises the callback type's small-buffer path.
+void BM_EngineScheduleRunCapture(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  struct FakeReq {
+    std::uint64_t a = 0, b = 0;
+  };
+  auto req = std::make_shared<FakeReq>();
+  std::uint64_t sink = 0;
+  std::function<void(FakeReq&)> cb = [&sink](FakeReq& r) { sink += r.a; };
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::SplitMix64 rng(11);
+    for (int i = 0; i < n; ++i) {
+      e.schedule(rng.below(1'000'000), [req, cb] {
+        req->a++;
+        cb(*req);
+      });
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRunCapture)->Arg(16384);
+
+/// Timeout-style mix: a fraction of events is cancelled before it fires
+/// (retransmit timers, cancelled receives). Arg0 = events, Arg1 = percent
+/// cancelled.
+void BM_EngineScheduleCancelMix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int pct = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::SplitMix64 rng(13);
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(e.schedule(rng.below(1'000'000), [] {}));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (static_cast<int>(rng.below(100)) < pct) e.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleCancelMix)->Args({16384, 10})->Args({16384, 50})->Args({16384, 90});
+
+/// Cancel-and-reschedule churn: every event is immediately replaced, the
+/// worst case for cancellation bookkeeping (progress-timer resets).
+void BM_EngineRescheduleChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::SplitMix64 rng(17);
+    sim::EventId id = e.schedule(1, [] {});
+    for (int i = 0; i < n; ++i) {
+      e.cancel(id);
+      id = e.schedule(rng.below(1'000'000), [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRescheduleChurn)->Arg(16384);
+
+/// Fan-out cascade: each fired event schedules `fan` children for two
+/// generations — the shape of a Jacobi halo exchange (one entry method
+/// scheduling per-neighbour sends) or an OSU bandwidth window.
+void BM_EngineFanout(benchmark::State& state) {
+  const int roots = static_cast<int>(state.range(0));
+  const int fan = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int r = 0; r < roots; ++r) {
+      e.schedule(static_cast<sim::TimePoint>(r), [&e, fan] {
+        for (int c = 0; c < fan; ++c) {
+          e.after(static_cast<sim::Duration>(c + 1), [&e, fan] {
+            for (int g = 0; g < fan; ++g) {
+              e.after(static_cast<sim::Duration>(g + 1), [] {});
+            }
+          });
+        }
+      });
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * roots * (1 + fan + fan * fan));
+}
+BENCHMARK(BM_EngineFanout)->Args({256, 6})->Args({64, 16});
+
+/// Self-rescheduling chain: serialised-PE-style execution where each event
+/// schedules its successor; measures bare per-event latency (queue nearly
+/// empty, no batching effects).
+void BM_EngineChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    int remaining = n;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) e.after(1, step);
+    };
+    e.schedule(0, step);
+    e.run();
+    benchmark::DoNotOptimize(e.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineChain)->Arg(16384);
+
+// --------------------------------------------------------------------------
+// Protocol-layer hot paths
+// --------------------------------------------------------------------------
 
 void BM_TagSchemeMakeDecode(benchmark::State& state) {
   core::TagScheme t;

@@ -55,14 +55,17 @@ void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& 
   const void* ptr = buf.ptr;
   const std::uint64_t size = buf.size;
   const std::uint64_t tag = buf.tag;
-  cmi_.system().engine.schedule(
-      pe.busyUntil(), [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
-        cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
-          if (cb) {
-            cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
-          }
-        });
-      });
+  // Injected like lrtsSendDevice: bypassing inject() (an earlier revision
+  // scheduled directly at pe.busyUntil()) lets user-tag sends overtake
+  // regular device sends from the same PE in SMP mode, where injection
+  // serialises through the node's comm thread.
+  cmi_.inject(src_pe, [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
+    cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
+      if (cb) {
+        cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+      }
+    });
+  });
 }
 
 void DeviceComm::lrtsRecvDeviceUserTag(int pe_id, void* dst, std::uint64_t size,
@@ -83,16 +86,18 @@ void DeviceComm::lrtsRecvDevice(int pe_id, const DeviceRdmaOp& op, DeviceRecvTyp
                              op.size, op.tag, "");
   cmi::Pe& pe = cmi_.pe(pe_id);
   pe.charge(sim::usec(cmi_.costs().device_meta_recv_us));
-  cmi_.system().engine.schedule(
-      pe.busyUntil(), [this, pe_id, op, cb = std::move(on_complete)] {
-        cmi_.ucx().worker(pe_id).tagRecv(
-            op.dst, op.size, op.tag, ucx::kFullMask,
-            [this, pe_id, cb](ucx::Request&) {
-              if (cb) {
-                cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
-              }
-            });
-      });
+  // Receives post through inject() too: in SMP mode the comm thread owns the
+  // UCX worker, so posting from the worker PE would race (in ordering terms)
+  // with the sends the comm thread serialises.
+  cmi_.inject(pe_id, [this, pe_id, op, cb = std::move(on_complete)] {
+    cmi_.ucx().worker(pe_id).tagRecv(op.dst, op.size, op.tag, ucx::kFullMask,
+                                     [this, pe_id, cb](ucx::Request&) {
+                                       if (cb) {
+                                         cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us),
+                                                             cb);
+                                       }
+                                     });
+  });
 }
 
 }  // namespace cux::core

@@ -39,9 +39,18 @@ struct TagScheme {
     return std::uint64_t{1} << cnt_bits;
   }
 
+  /// Mask selecting the low msg_bits of a type value; out-of-range types are
+  /// truncated to it (and assert in debug builds) so they can never bleed
+  /// into — or silently vanish above — the PE field.
+  [[nodiscard]] constexpr std::uint64_t typeModulus() const noexcept {
+    return std::uint64_t{1} << msg_bits;
+  }
+
   [[nodiscard]] constexpr std::uint64_t make(MsgType type, std::uint64_t pe,
                                              std::uint64_t cnt) const noexcept {
-    return (static_cast<std::uint64_t>(type) << (pe_bits + cnt_bits)) |
+    assert(static_cast<std::uint64_t>(type) < typeModulus() &&
+           "MsgType value does not fit in MSG_BITS");
+    return ((static_cast<std::uint64_t>(type) & (typeModulus() - 1)) << (pe_bits + cnt_bits)) |
            ((pe & maxPe()) << cnt_bits) | (cnt & (cntModulus() - 1));
   }
 

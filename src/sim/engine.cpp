@@ -1,42 +1,79 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace cux::sim {
 
+std::uint32_t Engine::acquireSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_gen_.size());
+  if ((slot >> kSlotBlockShift) == cb_blocks_.size()) {
+    cb_blocks_.push_back(std::make_unique<Callback[]>(kSlotBlockSize));
+  }
+  slot_gen_.push_back(0);
+  return slot;
+}
+
+void Engine::releaseSlot(std::uint32_t slot) noexcept {
+  // Bumping the generation invalidates both the outstanding EventId and any
+  // tombstoned heap entry still referencing this slot; the slot itself can
+  // be reused immediately.
+  ++slot_gen_[slot];
+  free_slots_.push_back(slot);
+}
+
+void Engine::pushHeap(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Engine::popHeap() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
 EventId Engine::schedule(TimePoint t, Callback cb) {
   if (t < now_) t = now_;
-  EventId id = next_seq_++;
-  queue_.push(Event{t, id, std::move(cb)});
-  pending_.insert(id);
+  const std::uint32_t slot = acquireSlot();
+  slotCb(slot) = std::move(cb);
+  const std::uint32_t gen = slot_gen_[slot];
+  pushHeap(HeapEntry{t, scheduled_++, slot, gen});
   ++live_events_;
-  return id;
+  return (static_cast<EventId>(gen) << 32) | slot;
 }
 
 bool Engine::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;  // never scheduled, fired, or already cancelled
-  pending_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != gen) {
+    return false;  // never scheduled, fired, or already cancelled
+  }
+  slotCb(slot).reset();
+  releaseSlot(slot);  // heap entry becomes a tombstone, skipped on pop
   --live_events_;
   return true;
 }
 
 bool Engine::popAndRun() {
-  while (!queue_.empty()) {
-    // Move the callback out before popping so reentrant schedule() calls from
-    // inside the callback cannot invalidate it.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    pending_.erase(ev.id);
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    popHeap();
+    if (stale(top)) continue;  // cancelled: tombstone, nothing to release
+    // Move the callback out before running it: reentrant schedule() calls may
+    // recycle the slot, and a block-stored callback must not be live while its
+    // slot is on the free list.
+    Callback cb = std::move(slotCb(top.slot));
+    releaseSlot(top.slot);
     --live_events_;
-    now_ = ev.time;
+    now_ = top.time;
     ++processed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -51,19 +88,16 @@ void Engine::run() {
 bool Engine::runUntil(TimePoint t) {
   stopped_ = false;
   while (!stopped_) {
-    // Skip cancelled heads without advancing time past t.
-    while (!queue_.empty() && cancelled_.count(queue_.top().id) != 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty()) return true;
-    if (queue_.top().time > t) {
+    // Skip tombstoned heads without advancing time past t.
+    while (!heap_.empty() && stale(heap_.front())) popHeap();
+    if (heap_.empty()) return true;
+    if (heap_.front().time > t) {
       now_ = t;
       return false;
     }
     popAndRun();
   }
-  return queue_.empty();
+  return heap_.empty();
 }
 
 bool Engine::step() { return popAndRun(); }

@@ -1,11 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 /// \file engine.hpp
@@ -16,15 +15,25 @@
 /// scheduling callbacks here. Determinism guarantee: events with equal
 /// timestamps fire in scheduling order (a monotonically increasing sequence
 /// number breaks ties), so repeated runs produce identical traces.
+///
+/// Hot-path design: the common (never-cancelled) event performs zero hash
+/// lookups and zero per-event heap allocations. Callbacks live in a
+/// generation-tagged slot pool (`SmallFn` inline storage, recycled through a
+/// free list); the priority queue holds 24-byte POD entries only. An
+/// `EventId` encodes {slot, generation}: cancellation bumps the slot's
+/// generation, turning the queued entry into a tombstone that pop skips with
+/// a single array compare — no cancelled-set, no pending-set.
 
 namespace cux::sim {
 
-/// Identifier of a scheduled event; usable with Engine::cancel().
+/// Identifier of a scheduled event; usable with Engine::cancel(). Encodes a
+/// slot index (low 32 bits) and that slot's generation at scheduling time
+/// (high 32 bits); stale ids fail the generation check in cancel().
 using EventId = std::uint64_t;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -40,7 +49,10 @@ class Engine {
   EventId after(Duration delay, Callback cb) { return schedule(now_ + delay, std::move(cb)); }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op and returns false.
+  /// no-op and returns false. (Caveat: an id whose slot has since cycled
+  /// through exactly 2^32 generations could be confused with a live event;
+  /// that requires 4 billion events reusing one slot while the stale id is
+  /// retained, which no workload in this repository approaches.)
   bool cancel(EventId id);
 
   /// Runs until the event queue drains or stop() is called.
@@ -58,28 +70,49 @@ class Engine {
 
   [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
   [[nodiscard]] std::uint64_t eventsProcessed() const noexcept { return processed_; }
-  [[nodiscard]] std::uint64_t eventsScheduled() const noexcept { return next_seq_; }
+  [[nodiscard]] std::uint64_t eventsScheduled() const noexcept { return scheduled_; }
 
  private:
-  struct Event {
+  /// Heap entry: POD only, so priority-queue sifts move 24 bytes instead of
+  /// a type-erased callable. `seq` is the global scheduling sequence number
+  /// providing FIFO order among equal timestamps.
+  struct HeapEntry {
     TimePoint time;
-    EventId id;
-    Callback cb;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };
 
-  bool popAndRun();
+  /// Callbacks live in fixed-size blocks so pool growth never moves a stored
+  /// callable (a std::vector<Callback> would relocate every element through
+  /// the ops table on reallocation).
+  static constexpr std::uint32_t kSlotBlockShift = 10;
+  static constexpr std::uint32_t kSlotBlockSize = 1u << kSlotBlockShift;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_;    // ids currently in queue_, not cancelled
-  std::unordered_set<EventId> cancelled_;  // ids in queue_ whose callback must be skipped
+  bool popAndRun();
+  void pushHeap(HeapEntry e);
+  void popHeap() noexcept;
+  [[nodiscard]] std::uint32_t acquireSlot();
+  void releaseSlot(std::uint32_t slot) noexcept;
+  [[nodiscard]] Callback& slotCb(std::uint32_t slot) noexcept {
+    return cb_blocks_[slot >> kSlotBlockShift][slot & (kSlotBlockSize - 1)];
+  }
+  [[nodiscard]] bool stale(const HeapEntry& e) const noexcept {
+    return slot_gen_[e.slot] != e.gen;
+  }
+
+  std::vector<HeapEntry> heap_;  ///< binary min-heap via std::push_heap/pop_heap
+  std::vector<std::unique_ptr<Callback[]>> cb_blocks_;
+  std::vector<std::uint32_t> slot_gen_;  ///< current generation of each slot
+  std::vector<std::uint32_t> free_slots_;
   TimePoint now_ = 0;
-  EventId next_seq_ = 0;
+  std::uint64_t scheduled_ = 0;  ///< total events ever scheduled (also the seq source)
   std::uint64_t processed_ = 0;
   std::uint64_t live_events_ = 0;
   bool stopped_ = false;

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file small_fn.hpp
+/// Move-only callable wrapper with a large inline buffer, used as the
+/// engine's event callback type.
+///
+/// `std::function<void()>` heap-allocates any capture above ~16 bytes, which
+/// is nearly every continuation the communication layers schedule (request
+/// pointer + completion function is already 48 bytes). SmallFn sizes its
+/// inline storage for the largest hot-path captures in the repository — a
+/// `Worker::Incoming` arrival plus the worker pointer (see ucx/worker.hpp) —
+/// so the event hot path performs zero per-event allocations. Callables that
+/// still do not fit fall back to the heap transparently.
+
+namespace cux::sim {
+
+class SmallFn {
+ public:
+  /// Sized so that every event lambda scheduled by src/ucx, src/core and
+  /// src/converse fits inline; keep in sync with the capture audit in
+  /// docs/architecture.md if Worker::Incoming grows.
+  static constexpr std::size_t kInlineCapacity = 128;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    if (ops_) ops_->invoke(storage_);
+  }
+
+  /// True when a callable of type `Fn` is stored without a heap allocation
+  /// (exposed for the capture-size regression tests).
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool fitsInline() noexcept {
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* get(void* p) noexcept { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*get(p))(); }
+    static void relocate(void* dst, void* src) noexcept { ::new (dst) Fn*(get(src)); }
+    static void destroy(void* p) noexcept { delete get(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+};
+
+}  // namespace cux::sim

@@ -34,6 +34,31 @@ void Tracer::dumpCsv(std::ostream& os) const {
   }
 }
 
+std::uint64_t Tracer::hash() const noexcept {
+  constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  for (const TraceRecord& r : records_) {
+    mix(r.time);
+    mix(static_cast<std::uint64_t>(r.cat));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.pe)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.peer)));
+    mix(r.bytes);
+    mix(r.tag);
+    for (const char* p = r.detail; *p != '\0'; ++p) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p));
+      h *= kPrime;
+    }
+  }
+  return h;
+}
+
 std::size_t Tracer::count(TraceCat c) const {
   std::size_t n = 0;
   for (const TraceRecord& r : records_) {

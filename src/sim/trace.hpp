@@ -63,6 +63,12 @@ class Tracer {
   /// One line per record: time_us,category,pe,peer,bytes,tag,detail
   void dumpCsv(std::ostream& os) const;
 
+  /// Order-sensitive FNV-1a hash over every record (including detail
+  /// strings). Two runs of a deterministic workload must produce identical
+  /// hashes; the determinism suite compares these across runs, and engine
+  /// changes can be validated by comparing hashes across builds.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
   /// Number of records in a category (test/diagnostic helper).
   [[nodiscard]] std::size_t count(TraceCat c) const;
 

@@ -96,8 +96,12 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
   }
 
   // Large owned payload: rendezvous timing; the vector lives in the in-flight
-  // message, and the "transfer" pulls from its storage.
-  auto shared_payload = std::make_shared<std::vector<std::byte>>(std::move(payload));
+  // message, and the "transfer" pulls from its storage. Ownership travels as
+  // `payload_owner`: the receiver-side copy can execute after the
+  // sender-side ATS completion when recv_overhead exceeds the ATS control
+  // latency, so tying the payload's lifetime to the sender callback (as an
+  // earlier revision did) is a use-after-free.
+  auto shared_payload = std::make_shared<const std::vector<std::byte>>(std::move(payload));
   const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
   const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
   const sim::TimePoint rts_arrival = hw::Machine::ctrlTransfer(path, t0, cfg_.header_bytes);
@@ -108,11 +112,8 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
   msg.is_rndv = true;
   msg.src_ptr = shared_payload->data();
   msg.send_req = req;
-  // Keep the payload alive until sender completion, which happens after the
-  // receiver has pulled the data.
-  msg.send_cb = [cb, shared_payload](Request& r) {
-    if (cb) cb(r);
-  };
+  msg.send_cb = std::move(cb);
+  msg.payload_owner = std::move(shared_payload);
   engine.schedule(rts_arrival,
                   [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
   return req;
@@ -311,7 +312,14 @@ bool Worker::cancelRecv(const RequestPtr& req) {
       req->state = ReqState::Cancelled;
       CompletionFn cb = std::move(it->cb);
       posted_.erase(it);
-      if (cb) cb(*req);
+      // The completion is delivered through the engine like every other
+      // completion: invoking it synchronously would reenter worker state
+      // mid-operation (the callback may repost, cancel, or send) and give
+      // cancellation an ordering no other completion path has.
+      if (cb) {
+        sim::Engine& engine = ctx_.system().engine;
+        engine.schedule(engine.now(), [req, cb = std::move(cb)] { cb(*req); });
+      }
       return true;
     }
   }
@@ -370,14 +378,16 @@ void Worker::completeRecvFromEager(PostedRecv r, Incoming msg) {
   void* buf = r.buf;
   CompletionFn cb = std::move(r.cb);
   const int pe = pe_;
+  // Capture the payload fields individually instead of the whole Incoming:
+  // the completion then fits SmallFn's inline buffer (no allocation).
   engine.schedule(t, [&sys = ctx.system(), req, cb = std::move(cb), buf, pe,
-                      msg = std::move(msg)]() mutable {
-    if (msg.payload_valid && !msg.payload.empty() && sys.memory.dereferenceable(buf)) {
-      std::memcpy(buf, msg.payload.data(), msg.payload.size());
+                      payload = std::move(msg.payload), payload_valid = msg.payload_valid,
+                      tag = msg.tag, src_pe = msg.src_pe, len = msg.len]() mutable {
+    if (payload_valid && !payload.empty() && sys.memory.dereferenceable(buf)) {
+      std::memcpy(buf, payload.data(), payload.size());
     }
     req->state = ReqState::Done;
-    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, msg.src_pe, msg.len,
-                     msg.tag, "eager");
+    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag, "eager");
     if (cb) cb(*req);
   });
 }
@@ -400,8 +410,10 @@ void Worker::startRndvTransfer(PostedRecv r, Incoming msg) {
   const int pe = pe_;
   const Tag tag = msg.tag;
   const int src_pe = msg.src_pe;
+  // `owner` keeps an amSend-owned payload alive until this copy executes;
+  // the sender-side ATS completion may already have fired by then.
   engine.schedule(done, [&sys = ctx.system(), req, cb = std::move(cb), buf, src, len, pe, tag,
-                         src_pe] {
+                         src_pe, owner = std::move(msg.payload_owner)] {
     cuda::moveBytes(sys, buf, src, len);
     req->state = ReqState::Done;
     sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag, "rndv");
@@ -436,7 +448,8 @@ void Worker::deliverToHandler(HandlerFn& fn, Incoming msg) {
       ctx.rndvTransfer(msg, pe_, storage->empty() ? nullptr : storage->data());
   const sim::TimePoint done = data_arrival + sim::usec(ctx.config().recv_overhead_us);
   HandlerFn* fp = &fn;
-  engine.schedule(done, [fp, storage, src_deref, src, len, tag, src_pe] {
+  engine.schedule(done, [fp, storage, src_deref, src, len, tag, src_pe,
+                         owner = std::move(msg.payload_owner)] {
     if (src_deref && len > 0) std::memcpy(storage->data(), src, len);
     Delivery d;
     d.payload = std::move(*storage);

@@ -103,20 +103,26 @@ class Worker {
   /// An arriving message the matching engine operates on. Exactly one of the
   /// two shapes is populated: eager (payload travelled with the header) or
   /// rendezvous (payload still lives at src_ptr on the sender).
+  ///
+  /// Field order packs the struct to 120 bytes so an arrival capture
+  /// (worker pointer + Incoming) fits sim::SmallFn's inline buffer; audit
+  /// sizes before adding fields (see docs/architecture.md).
   struct Incoming {
     Tag tag = 0;
-    int src_pe = -1;
     std::uint64_t len = 0;
+    const void* src_ptr = nullptr;   ///< rendezvous: payload still at the sender
+    std::vector<std::byte> payload;  ///< eager: payload travelled with the header
+    RequestPtr send_req;             ///< rendezvous: sender-side request
+    CompletionFn send_cb;            ///< rendezvous: sender-side completion
+    /// Owner of a rendezvous payload whose storage is not anchored by the
+    /// caller (amSend's owned vectors). The receiver-side copy holds this
+    /// until the memcpy from src_ptr has executed, which can be *after* the
+    /// sender-side ATS completion fires.
+    std::shared_ptr<const std::vector<std::byte>> payload_owner;
+    int src_pe = -1;
     bool is_rndv = false;
-    // eager:
-    std::vector<std::byte> payload;
     bool payload_valid = true;
     bool src_device = false;  ///< receiver pays the un-staging cost for device eager
-    // rendezvous:
-    const void* src_ptr = nullptr;
-    bool dst_hint_device = false;  // unused placeholder for symmetry
-    RequestPtr send_req;
-    CompletionFn send_cb;
   };
 
   void onArrival(Incoming msg);

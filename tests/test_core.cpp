@@ -66,6 +66,21 @@ TEST(TagScheme, CounterWrapsAtModulus) {
   EXPECT_EQ(t.cntOf(t.make(core::MsgType::Device, 0, 17)), 1u);
 }
 
+TEST(TagScheme, TypeFieldIsMasked) {
+#ifdef NDEBUG
+  // An out-of-range type value (here 2^msg_bits + 1) must truncate to its
+  // low msg_bits instead of leaking anywhere else in the tag; debug builds
+  // assert on it instead.
+  core::TagScheme t;
+  const auto wild = t.make(static_cast<core::MsgType>(17), 123, 45);
+  EXPECT_EQ(wild, t.make(static_cast<core::MsgType>(1), 123, 45));
+  EXPECT_EQ(t.peOf(wild), 123u);
+  EXPECT_EQ(t.cntOf(wild), 45u);
+#else
+  GTEST_SKIP() << "out-of-range MsgType asserts in debug builds";
+#endif
+}
+
 // --------------------------------------------------------------------------
 // Converse
 // --------------------------------------------------------------------------
@@ -249,6 +264,59 @@ TEST(DeviceComm, RecvBeforeRtsAlsoCompletes) {
   EXPECT_EQ(buf.tag, tag);
   EXPECT_TRUE(received);
   EXPECT_EQ(std::memcmp(src.get(), dst.get(), n), 0);
+}
+
+TEST(DeviceComm, CounterWrapsAroundCntBits) {
+  // CNT_BITS wraparound in lrtsSendDevice: with a 4-bit counter the 17th
+  // send from a PE reuses counter value 0 without touching the PE or type
+  // fields.
+  model::Model m = model::summit(2);
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  cmi::Converse cmi(sys, ctx, m.costs, core::TagScheme{4, 56, 4});
+  core::DeviceComm dev(cmi);
+  cuda::DeviceBuffer a(sys, 0, 64);
+  std::vector<std::uint64_t> cnts;
+  cmi.runOn(0, [&] {
+    for (int i = 0; i < 18; ++i) {
+      core::CmiDeviceBuffer buf{a.get(), 64, 0};
+      dev.lrtsSendDevice(0, 1, buf);
+      cnts.push_back(cmi.tags().cntOf(buf.tag));
+      EXPECT_EQ(cmi.tags().typeOf(buf.tag), core::MsgType::Device);
+      EXPECT_EQ(cmi.tags().peOf(buf.tag), 0u);
+    }
+  });
+  sys.engine.run();
+  ASSERT_EQ(cnts.size(), 18u);
+  for (std::size_t i = 0; i < cnts.size(); ++i) EXPECT_EQ(cnts[i], i % 16);
+}
+
+TEST(DeviceComm, UserTagSendsStayOrderedInSmpMode) {
+  // Regression: lrtsSendDeviceUserTag used to schedule directly at the PE's
+  // busy horizon instead of going through cmi.inject(); in SMP mode that
+  // bypassed the comm thread, letting a user-tag send overtake a regular
+  // device send issued earlier by the same PE.
+  model::Model m = model::summit(2);
+  m.costs.smp_comm_thread = true;
+  hw::System sys(m.machine);
+  sys.trace.enable();
+  ucx::Context ctx(sys, m.ucx);
+  cmi::Converse cmi(sys, ctx, m.costs);
+  core::DeviceComm dev(cmi);
+  cuda::DeviceBuffer a(sys, 0, 64), b(sys, 0, 64);
+  core::CmiDeviceBuffer regular{a.get(), 64, 0}, user{b.get(), 64, 0};
+  cmi.runOn(0, [&] {
+    dev.lrtsSendDevice(0, 1, regular);
+    dev.lrtsSendDeviceUserTag(0, 1, user, 7);
+  });
+  sys.engine.run();
+  std::vector<core::MsgType> order;
+  for (const auto& rec : sys.trace.records()) {
+    if (rec.cat == sim::TraceCat::UcxSend) order.push_back(cmi.tags().typeOf(rec.tag));
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], core::MsgType::Device);
+  EXPECT_EQ(order[1], core::MsgType::DeviceUser);
 }
 
 TEST(DeviceComm, AccountsRecvTypes) {

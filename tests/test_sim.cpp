@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/future.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
@@ -78,6 +81,61 @@ TEST(Engine, CancelFiredEventFails) {
   EXPECT_FALSE(e.cancel(id));
 }
 
+TEST(Engine, CancelledIdStaysDeadAfterSlotReuse) {
+  // The generation tag must distinguish a recycled slot from the cancelled
+  // event that used to occupy it.
+  sim::Engine e;
+  bool second_ran = false;
+  auto id1 = e.schedule(10, [] {});
+  EXPECT_TRUE(e.cancel(id1));
+  auto id2 = e.schedule(20, [&] { second_ran = true; });  // may reuse id1's slot
+  EXPECT_FALSE(e.cancel(id1));                            // stale id: dead forever
+  e.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(e.cancel(id2));  // fired
+}
+
+TEST(Engine, ManyCancellationsInterleavedWithReuse) {
+  sim::Engine e;
+  int ran = 0;
+  std::vector<sim::EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(e.schedule(static_cast<sim::TimePoint>(round * 100 + i), [&] { ++ran; }));
+    }
+    for (int i = 0; i < 20; i += 2) EXPECT_TRUE(e.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  e.run();
+  EXPECT_EQ(ran, 50 * 10);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.eventsScheduled(), 1000u);
+  EXPECT_EQ(e.eventsProcessed(), 500u);
+}
+
+TEST(Engine, CancelFromInsideCallback) {
+  sim::Engine e;
+  bool victim_ran = false;
+  auto victim = e.schedule(20, [&] { victim_ran = true; });
+  e.schedule(10, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunUntilSkipsCancelledHead) {
+  sim::Engine e;
+  int count = 0;
+  auto head = e.schedule(10, [&] { ++count; });
+  e.schedule(40, [&] { ++count; });
+  EXPECT_TRUE(e.cancel(head));
+  EXPECT_FALSE(e.runUntil(25));  // cancelled head must not fire nor advance past 25
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(e.now(), 25u);
+  e.run();
+  EXPECT_EQ(count, 1);
+}
+
 TEST(Engine, RunUntilStopsBeforeLaterEvents) {
   sim::Engine e;
   int count = 0;
@@ -129,6 +187,63 @@ TEST(Engine, DeterministicAcrossRuns) {
     return t;
   };
   EXPECT_EQ(trace(), trace());
+}
+
+TEST(SmallFn, InlineAndHeapPathsBothInvoke) {
+  struct Big {
+    char pad[sim::SmallFn::kInlineCapacity + 8];
+  };
+  static_assert(sim::SmallFn::fitsInline<int*>());
+  static_assert(!sim::SmallFn::fitsInline<Big[2]>());
+  int small_hits = 0, big_hits = 0;
+  sim::SmallFn small([&small_hits] { ++small_hits; });
+  Big big{};
+  big.pad[0] = 1;
+  sim::SmallFn large([&big_hits, big] { big_hits += big.pad[0]; });
+  small();
+  small();
+  large();
+  EXPECT_EQ(small_hits, 2);
+  EXPECT_EQ(big_hits, 1);
+}
+
+TEST(SmallFn, MoveTransfersOwnershipAndDestroys) {
+  auto tracker = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = tracker;
+  {
+    sim::SmallFn a([tracker] {});
+    tracker.reset();
+    EXPECT_FALSE(alive.expired());
+    sim::SmallFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_FALSE(alive.expired());
+    b.reset();
+    EXPECT_TRUE(alive.expired());
+  }
+}
+
+TEST(SmallFn, HotUcxCaptureShapesStayInline) {
+  // The completion-continuation shape (shared_ptr + std::function) and the
+  // arrival shape (pointer + ~120-byte message) must not allocate; this is
+  // the engine hot path. If this fires after growing Worker::Incoming,
+  // either shrink it or bump SmallFn::kInlineCapacity.
+  struct Completion {
+    std::shared_ptr<int> req;
+    std::function<void(int&)> cb;
+  };
+  static_assert(sim::SmallFn::fitsInline<Completion>());
+  struct Arrival {
+    void* worker;
+    std::uint64_t scalars[3];
+    std::vector<std::byte> payload;
+    std::shared_ptr<int> req;
+    std::function<void(int&)> cb;
+    std::shared_ptr<const std::vector<std::byte>> owner;
+    int src_pe;
+    bool flags[3];
+  };
+  static_assert(sim::SmallFn::fitsInline<Arrival>());
 }
 
 TEST(Time, UnitConversionsRoundTrip) {

@@ -125,9 +125,87 @@ TEST(UcxMatching, CancelRemovesPostedRecv) {
   auto req = f.ctx->worker(1).tagRecv(dst.data(), 16, 0x5, ucx::kFullMask,
                                       [&](ucx::Request& r) { cancelled = r.cancelled(); });
   EXPECT_TRUE(f.ctx->worker(1).cancelRecv(req));
-  EXPECT_TRUE(cancelled);
+  // The request state flips synchronously, but the completion callback is
+  // delivered through the engine like every other completion — it must NOT
+  // run in the caller's stack.
+  EXPECT_TRUE(req->cancelled());
+  EXPECT_FALSE(cancelled);
   EXPECT_EQ(f.ctx->worker(1).postedCount(), 0u);
   EXPECT_FALSE(f.ctx->worker(1).cancelRecv(req));
+  f.sys->engine.run();
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(UcxMatching, CancelCallbackMayRepostWithoutReentry) {
+  // A cancellation callback that immediately reposts the same tag: with the
+  // deferred delivery this runs as its own event, so the repost cannot
+  // corrupt an in-progress posted_-queue walk, and the reposted receive
+  // still matches a later send.
+  UcxFixture f;
+  auto src = pattern(16, 21);
+  std::vector<std::byte> dst(16);
+  bool redelivered = false;
+  auto req = f.ctx->worker(1).tagRecv(dst.data(), 16, 0xA, ucx::kFullMask,
+                                      [&](ucx::Request& r) {
+                                        ASSERT_TRUE(r.cancelled());
+                                        f.ctx->worker(1).tagRecv(
+                                            dst.data(), 16, 0xA, ucx::kFullMask,
+                                            [&](ucx::Request&) { redelivered = true; });
+                                      });
+  EXPECT_TRUE(f.ctx->worker(1).cancelRecv(req));
+  f.sys->engine.run();
+  EXPECT_EQ(f.ctx->worker(1).postedCount(), 1u);
+  f.ctx->tagSend(0, 1, src.data(), 16, 0xA, {});
+  f.sys->engine.run();
+  EXPECT_TRUE(redelivered);
+  EXPECT_EQ(dst, src);
+}
+
+// --------------------------------------------------------------------------
+// amSend rendezvous payload lifetime (regression)
+// --------------------------------------------------------------------------
+
+TEST(UcxActiveMessage, RndvPayloadOutlivesSenderCompletion) {
+  // Receiver-side copy is delayed past the sender's ATS completion by a
+  // large recv overhead. An earlier revision tied the payload's lifetime to
+  // the sender-side completion callback, so this ordering read freed memory
+  // (visible under ASan; without it the copied bytes could be garbage).
+  UcxFixture f;
+  f.m.ucx.recv_overhead_us = 500.0;  // ATS control round trip is ~a few us
+  f.ctx = std::make_unique<ucx::Context>(*f.sys, f.m.ucx);
+  const std::size_t n = 64 * 1024;  // > host_eager_threshold: owned rendezvous
+  auto payload = pattern(n, 33);
+  const auto expect = payload;
+  std::vector<std::byte> dst(n);
+  sim::TimePoint send_done = 0, recv_done = 0;
+  f.ctx->worker(1).tagRecv(dst.data(), n, 0x77, ucx::kFullMask,
+                           [&](ucx::Request&) { recv_done = f.sys->engine.now(); });
+  f.ctx->amSend(0, 1, 0x77, std::move(payload),
+                [&](ucx::Request&) { send_done = f.sys->engine.now(); });
+  f.sys->engine.run();
+  ASSERT_GT(send_done, 0u);
+  ASSERT_GT(recv_done, 0u);
+  // The whole point: the sender completed BEFORE the receiver copied.
+  EXPECT_LT(send_done, recv_done);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(UcxActiveMessage, RndvPayloadToHandlerOutlivesSenderCompletion) {
+  // Same inversion, delivered through a persistent handler instead of a
+  // posted receive (the deliverToHandler rendezvous path).
+  UcxFixture f;
+  f.m.ucx.recv_overhead_us = 500.0;
+  f.ctx = std::make_unique<ucx::Context>(*f.sys, f.m.ucx);
+  const std::size_t n = 64 * 1024;
+  auto payload = pattern(n, 34);
+  const auto expect = payload;
+  std::vector<std::byte> got;
+  f.ctx->worker(1).setHandler(0x78, ucx::kFullMask, [&](ucx::Delivery d) {
+    got.assign(d.payload.begin(), d.payload.end());
+  });
+  f.ctx->amSend(0, 1, 0x78, std::move(payload), {});
+  f.sys->engine.run();
+  EXPECT_EQ(got, expect);
 }
 
 TEST(UcxMatching, ZeroByteMessages) {
