@@ -268,7 +268,8 @@ Request World::isendImpl(int src_rank, const void* buf, std::uint64_t bytes, int
     core::CmiDeviceBuffer cdb{buf, bytes, 0};
     auto impl = req.impl_;
     rt_.dev().lrtsSendDevice(st.pe, dst_st.pe, cdb,
-                             [impl, sent_status] { impl->complete(sent_status); });
+                             [impl, sent_status] { impl->complete(sent_status); },
+                             core::DeviceRecvType::Ampi);
     dst_st.chare.sendFrom<&RankChare::recvMeta>(st.pe, static_cast<std::uint32_t>(src_rank),
                                                 static_cast<std::int32_t>(tag),
                                                 static_cast<std::int32_t>(comm), bytes, cdb.tag,

@@ -51,7 +51,7 @@ void Runtime::packBuffer(Packer& p, const Buffer& b, int src_pe, int dst_pe,
     p.pack(static_cast<std::uint8_t>(Buffer::Mode::Rndv));
     p.pack(b.size());
     core::CmiDeviceBuffer cdb{b.source(), b.size(), 0};
-    dev_->lrtsSendDevice(src_pe, dst_pe, cdb, b.sentCallback());
+    dev_->lrtsSendDevice(src_pe, dst_pe, cdb, b.sentCallback(), core::DeviceRecvType::Charm);
     p.pack(cdb.tag);
   } else {
     p.pack(static_cast<std::uint8_t>(Buffer::Mode::Packed));

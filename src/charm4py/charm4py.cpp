@@ -158,9 +158,10 @@ sim::Future<void> Charm4py::sendImpl(ChannelEnd& end, const void* buf, std::uint
     core::CmiDeviceBuffer cdb{buf, bytes, 0};
     cmi::Pe* pe_ptr = &pe;
     const double wake = costs.py_wakeup_us;
-    rt_.dev().lrtsSendDevice(src_pe, peer->pe_, cdb, [done, pe_ptr, wake] {
-      pe_ptr->exec(sim::usec(wake), [done] { done.set(); });
-    });
+    rt_.dev().lrtsSendDevice(
+        src_pe, peer->pe_, cdb,
+        [done, pe_ptr, wake] { pe_ptr->exec(sim::usec(wake), [done] { done.set(); }); },
+        core::DeviceRecvType::Charm4py);
     chares_[static_cast<std::size_t>(peer->pe_)].sendFrom<&PerPeChare::chanMsg>(
         src_pe, end.chan_, static_cast<std::uint8_t>(dst_side), bytes, cdb.tag, seq,
         std::uint8_t{0}, std::vector<std::byte>{},

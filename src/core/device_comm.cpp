@@ -7,8 +7,44 @@ namespace cux::core {
 DeviceComm::DeviceComm(cmi::Converse& cmi)
     : cmi_(cmi), counters_(static_cast<std::size_t>(cmi.numPes()), 0) {}
 
+void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
+                           std::uint64_t tag, std::function<void()> on_complete) {
+  hw::System& sys = cmi_.system();
+  if (sys.fault.enabled() && sys.fault.linkDown(sys.engine.now(), src_pe, dst_pe)) {
+    // The link is down right now: don't burn the retry budget on a path that
+    // cannot deliver — degrade to the host-staged route immediately.
+    startFallback(src_pe, dst_pe, ptr, size, tag, std::move(on_complete), "link-down");
+    return;
+  }
+  cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag,
+                     [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)](
+                         ucx::Request& r) {
+                       if (r.failed()) {
+                         startFallback(src_pe, dst_pe, ptr, size, tag, cb, "retries-exhausted");
+                         return;
+                       }
+                       if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+                     });
+}
+
+void DeviceComm::startFallback(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
+                               std::uint64_t tag, std::function<void()> on_complete,
+                               const char* why) {
+  ++fallbacks_;
+  hw::System& sys = cmi_.system();
+  sys.trace.record(sys.engine.now(), sim::TraceCat::Fallback, src_pe, dst_pe, size, tag, why);
+  // Graceful degradation: stage the device buffer to the host and resend as
+  // a plain host message under the SAME tag, so the already-posted receive
+  // still matches. on_complete fires either way — the transfer recovers,
+  // only the timing suffers.
+  cmi_.ucx().tagSendHostStaged(
+      src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb = std::move(on_complete)](ucx::Request&) {
+        if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+      });
+}
+
 void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
-                                std::function<void()> on_complete) {
+                                std::function<void()> on_complete, DeviceRecvType recv_type) {
   const TagScheme& tags = cmi_.tags();
   assert(static_cast<std::uint64_t>(src_pe) <= tags.maxPe() &&
          "source PE does not fit in PE_BITS; adjust the tag scheme split");
@@ -18,6 +54,7 @@ void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
   buf.tag = tags.make(type, static_cast<std::uint64_t>(src_pe), counter);
   counter = (counter + 1) % tags.cntModulus();
   ++device_sends_;
+  ++sends_by_type_[static_cast<std::size_t>(recv_type)];
 
   cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
                              dst_pe, buf.size, buf.tag,
@@ -32,22 +69,19 @@ void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
   const std::uint64_t size = buf.size;
   const std::uint64_t tag = buf.tag;
   cmi_.inject(src_pe, [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
-    cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
-      if (cb) {
-        cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
-      }
-    });
+    issueSend(src_pe, dst_pe, ptr, size, tag, cb);
   });
 }
 
 void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
-                                       std::uint64_t user_tag,
-                                       std::function<void()> on_complete) {
+                                       std::uint64_t user_tag, std::function<void()> on_complete,
+                                       DeviceRecvType recv_type) {
   const TagScheme& tags = cmi_.tags();
   // The whole PE+CNT field carries the user tag; uniqueness is the caller's
   // contract (as it would be with MPI tags).
   buf.tag = tags.make(MsgType::DeviceUser, user_tag >> tags.cnt_bits, user_tag);
   ++device_sends_;
+  ++sends_by_type_[static_cast<std::size_t>(recv_type)];
   cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
                              dst_pe, buf.size, buf.tag, "device-user-tag");
   cmi::Pe& pe = cmi_.pe(src_pe);
@@ -60,11 +94,7 @@ void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& 
   // regular device sends from the same PE in SMP mode, where injection
   // serialises through the node's comm thread.
   cmi_.inject(src_pe, [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)] {
-    cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb](ucx::Request&) {
-      if (cb) {
-        cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
-      }
-    });
+    issueSend(src_pe, dst_pe, ptr, size, tag, cb);
   });
 }
 

@@ -49,9 +49,17 @@ class DeviceComm {
   /// LrtsSendDevice: generates the tag (incrementing the per-PE counter),
   /// sends the buffer through UCX, and reports the tag through `buf.tag` so
   /// the caller can ship it in the metadata message. `on_complete` fires on
-  /// the sender PE when the buffer is safe to reuse.
+  /// the sender PE when the buffer is safe to reuse. `type` records which
+  /// programming model issued the send (accounting only).
+  ///
+  /// Reliability: when the fault injector is enabled and the GPU-aware send
+  /// exhausts its retries (or the link is down at issue time), the transfer
+  /// degrades to the host-staged route under the same tag — the posted
+  /// receive still matches, the data still arrives, and `on_complete` still
+  /// fires; only the timing suffers (see fallbacks()).
   void lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
-                      std::function<void()> on_complete = {});
+                      std::function<void()> on_complete = {},
+                      DeviceRecvType type = DeviceRecvType::Raw);
 
   /// LrtsRecvDevice: posts the receive for an incoming GPU/zero-copy buffer.
   /// `on_complete` fires on `pe` when the data has fully arrived.
@@ -62,8 +70,9 @@ class DeviceComm {
   /// (paper Figs. 6/7/9 show it between the model layer and the machine
   /// layer).
   void cmiSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
-                     std::function<void()> on_complete = {}) {
-    lrtsSendDevice(src_pe, dst_pe, buf, std::move(on_complete));
+                     std::function<void()> on_complete = {},
+                     DeviceRecvType type = DeviceRecvType::Raw) {
+    lrtsSendDevice(src_pe, dst_pe, buf, std::move(on_complete), type);
   }
 
   // --- user-provided tags (paper Sec. VI improvement) ----------------------
@@ -76,7 +85,8 @@ class DeviceComm {
 
   /// Sends under tag MsgType::DeviceUser | user_tag (low 60 bits).
   void lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
-                             std::uint64_t user_tag, std::function<void()> on_complete = {});
+                             std::uint64_t user_tag, std::function<void()> on_complete = {},
+                             DeviceRecvType type = DeviceRecvType::Raw);
 
   /// Pre-posts the receive for a user-tagged transfer; callable before the
   /// sender has even initiated it.
@@ -85,14 +95,29 @@ class DeviceComm {
 
   // --- accounting ---------------------------------------------------------
   [[nodiscard]] std::uint64_t sendsByType(DeviceRecvType t) const {
+    return sends_by_type_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint64_t recvsByType(DeviceRecvType t) const {
     return recvs_by_type_[static_cast<std::size_t>(t)];
   }
   [[nodiscard]] std::uint64_t deviceSends() const noexcept { return device_sends_; }
+  /// Device sends that degraded to the host-staged route (retries exhausted
+  /// or link down); 0 unless the fault injector is enabled.
+  [[nodiscard]] std::uint64_t fallbacks() const noexcept { return fallbacks_; }
 
  private:
+  /// Issues the UCX send, routing through the host-staged fallback when the
+  /// link is down at issue time or when the GPU-aware send fails terminally.
+  void issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_t size, std::uint64_t tag,
+                 std::function<void()> on_complete);
+  void startFallback(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
+                     std::uint64_t tag, std::function<void()> on_complete, const char* why);
+
   cmi::Converse& cmi_;
   std::vector<std::uint64_t> counters_;  // per-PE tag counters
   std::uint64_t device_sends_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t sends_by_type_[4] = {0, 0, 0, 0};
   std::uint64_t recvs_by_type_[4] = {0, 0, 0, 0};
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "sim/fault.hpp"
+
 /// \file config.hpp
 /// Hardware description of the simulated cluster.
 ///
@@ -44,6 +46,11 @@ struct MachineConfig {
   double cuda_sync_us = 3.0;
   /// Fixed device-side latency of launching a kernel.
   double kernel_launch_us = 4.5;
+
+  /// Fault-injection schedule for the simulated network (off by default).
+  /// Lives here so every benchmark/application path that builds a System
+  /// from a MachineConfig can enable faults without extra plumbing.
+  sim::FaultConfig fault;
 
   /// Whether GpuDevice allocations get real host backing by default
   /// (backed = data integrity verified; unbacked = metadata-only, used by

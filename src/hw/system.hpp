@@ -17,9 +17,12 @@ struct System {
   sim::Engine engine;
   Machine machine;
   MemoryRegistry memory;
-  sim::Tracer trace;  ///< off by default; enable() to record timelines
+  sim::Tracer trace;          ///< off by default; enable() to record timelines
+  sim::FaultInjector fault;   ///< off by default; configured from config.fault
 
-  explicit System(const MachineConfig& cfg = {}) : config(cfg), machine(config) {}
+  explicit System(const MachineConfig& cfg = {}) : config(cfg), machine(config) {
+    fault.configure(config.fault);
+  }
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;

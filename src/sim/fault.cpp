@@ -1,0 +1,56 @@
+#include "sim/fault.hpp"
+
+namespace cux::sim {
+
+FaultConfig FaultConfig::uniformLoss(double drop_prob, std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = seed;
+  cfg.setAllClasses(FaultPolicy{drop_prob, 0.0});
+  return cfg;
+}
+
+void FaultInjector::configure(const FaultConfig& cfg) {
+  cfg_ = cfg;
+  rng_ = SplitMix64(cfg.seed);
+  decisions_ = 0;
+  drops_ = 0;
+  delays_ = 0;
+}
+
+bool FaultInjector::linkDown(TimePoint t, int src_pe, int dst_pe) const noexcept {
+  if (!cfg_.enabled) return false;
+  for (const LinkDownWindow& w : cfg_.down_windows) {
+    if (t < w.from || t >= w.until) continue;
+    if (w.src_pe != -1 && w.src_pe != src_pe) continue;
+    if (w.dst_pe != -1 && w.dst_pe != dst_pe) continue;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::decide(TimePoint now, MsgClass cls, int src_pe,
+                                              int dst_pe) {
+  if (!cfg_.enabled) return {};
+  ++decisions_;
+  // Outage windows are schedule-driven, not probabilistic: they consume no
+  // randomness, so adding a window does not shift the drop/jitter stream.
+  if (linkDown(now, src_pe, dst_pe)) {
+    ++drops_;
+    return {true, 0};
+  }
+  const FaultPolicy& p = cfg_.policy[static_cast<std::size_t>(cls)];
+  Decision d;
+  if (p.drop_prob > 0.0 && rng_.uniform() < p.drop_prob) {
+    ++drops_;
+    d.drop = true;
+    return d;
+  }
+  if (p.jitter_max_us > 0.0) {
+    d.delay = usec(p.jitter_max_us * rng_.uniform());
+    if (d.delay > 0) ++delays_;
+  }
+  return d;
+}
+
+}  // namespace cux::sim

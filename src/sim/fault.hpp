@@ -1,0 +1,112 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+/// \file fault.hpp
+/// Deterministic, seed-driven fault injection for the simulated network.
+///
+/// Real UCX deployments survive link flaps and registration failures by
+/// retransmitting and by degrading to host-staged paths; the reliability
+/// machinery in src/ucx and src/core exists to reproduce that behaviour, and
+/// this injector exists to exercise it. Every fault decision is drawn from a
+/// SplitMix64 stream owned by the injector, and decisions are only ever made
+/// from inside engine events, so a fixed seed yields a bit-identical fault
+/// timeline on every run.
+///
+/// Determinism contract: with `FaultConfig::enabled == false` (the default)
+/// the injector never consumes random numbers and every decision is a
+/// no-fault constant — fault-free trace hashes are bit-identical to a build
+/// without the injector. tests/test_trace_hash.cpp pins this.
+
+namespace cux::sim {
+
+/// Message classes the injector distinguishes, mirroring the wire traffic of
+/// the mini-UCX machine layer.
+enum class MsgClass : std::uint8_t {
+  Eager = 0,     ///< eager tagged payload (host or device, header + data)
+  Am = 1,        ///< active-message host traffic (Converse envelopes, metadata)
+  RndvCtrl = 2,  ///< rendezvous control: RTS / CTS / ATS headers
+  RndvData = 3,  ///< rendezvous bulk data movement
+};
+inline constexpr std::size_t kNumMsgClasses = 4;
+
+/// Per-message-class fault policy.
+struct FaultPolicy {
+  /// Probability in [0, 1] that a message of this class is dropped in
+  /// flight (never delivered; the sender's retry machinery must recover).
+  double drop_prob = 0.0;
+  /// Maximum extra delivery latency; each delivered message gets a uniform
+  /// jitter in [0, jitter_max_us). Jitter past the sender's retry deadline
+  /// produces genuine duplicates (retransmit racing the late original).
+  double jitter_max_us = 0.0;
+};
+
+/// A scheduled link outage: every message between the matching endpoints is
+/// dropped while `from <= t < until`. A PE of -1 is a wildcard. Windows are
+/// direction-sensitive; add both directions for a full outage.
+struct LinkDownWindow {
+  TimePoint from = 0;
+  TimePoint until = 0;
+  int src_pe = -1;
+  int dst_pe = -1;
+};
+
+/// Complete injector configuration; travels inside hw::MachineConfig so
+/// every benchmark and application path can enable faults without new
+/// plumbing.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0x5eedULL;
+  std::array<FaultPolicy, kNumMsgClasses> policy{};
+  std::vector<LinkDownWindow> down_windows;
+
+  /// Applies `p` to every message class.
+  void setAllClasses(const FaultPolicy& p) { policy.fill(p); }
+
+  /// Convenience: uniform drop probability across all classes, no jitter.
+  [[nodiscard]] static FaultConfig uniformLoss(double drop_prob, std::uint64_t seed);
+};
+
+/// Owned by hw::System; consulted by the mini-UCX transmit paths.
+class FaultInjector {
+ public:
+  /// Result of one per-message consultation.
+  struct Decision {
+    bool drop = false;
+    Duration delay = 0;  ///< extra delivery latency (jitter)
+  };
+
+  /// (Re)configures the injector: resets the random stream and counters.
+  void configure(const FaultConfig& cfg);
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+
+  /// One fault decision for a message of class `cls` transmitted at virtual
+  /// time `now` from `src_pe` to `dst_pe`. Consumes randomness only when
+  /// enabled and only for policies with a nonzero knob, so enabling one
+  /// class does not perturb another class's stream more than necessary.
+  Decision decide(TimePoint now, MsgClass cls, int src_pe, int dst_pe);
+
+  /// True when a configured outage window covers (src_pe -> dst_pe) at `t`.
+  [[nodiscard]] bool linkDown(TimePoint t, int src_pe, int dst_pe) const noexcept;
+
+  // --- counters (reset by configure()) ------------------------------------
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t dropsInjected() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t delaysInjected() const noexcept { return delays_; }
+
+ private:
+  FaultConfig cfg_;
+  SplitMix64 rng_{0};
+  std::uint64_t decisions_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace cux::sim

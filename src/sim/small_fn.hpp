@@ -24,8 +24,10 @@ class SmallFn {
  public:
   /// Sized so that every event lambda scheduled by src/ucx, src/core and
   /// src/converse fits inline; keep in sync with the capture audit in
-  /// docs/architecture.md if Worker::Incoming grows.
-  static constexpr std::size_t kInlineCapacity = 128;
+  /// docs/architecture.md if Worker::Incoming grows. (144 = the 128-byte
+  /// Incoming — including the reliability sequence number — plus the worker
+  /// pointer, rounded up to the next 16-byte alignment boundary.)
+  static constexpr std::size_t kInlineCapacity = 144;
 
   SmallFn() noexcept = default;
   SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)

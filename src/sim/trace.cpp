@@ -22,6 +22,12 @@ const char* name(TraceCat c) {
       return "kernel";
     case TraceCat::User:
       return "user";
+    case TraceCat::Drop:
+      return "fault.drop";
+    case TraceCat::Retry:
+      return "fault.retry";
+    case TraceCat::Fallback:
+      return "fault.fallback";
   }
   return "?";
 }

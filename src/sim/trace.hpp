@@ -26,6 +26,11 @@ enum class TraceCat : std::uint8_t {
   LrtsRecv,    ///< machine-layer receive posted
   Kernel,      ///< GPU kernel
   User,        ///< application-defined marker
+  // Reliability events (appended so existing categories keep their encoded
+  // values — fault-free trace hashes stay bit-identical).
+  Drop,        ///< injector dropped a message / duplicate suppressed
+  Retry,       ///< retransmission after timeout
+  Fallback,    ///< device send degraded to the host-staged route
 };
 
 [[nodiscard]] const char* name(TraceCat c);

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 
 /// \file config.hpp
 /// Tunables of the mini-UCX layer: protocol thresholds and per-operation
@@ -54,6 +56,35 @@ struct UcxConfig {
 
   /// Size of the control/header portion accompanying every message.
   std::size_t header_bytes = 64;
+
+  // --- reliability (active only while the fault injector is enabled) -------
+  /// Maximum number of retransmissions per wire message after the original
+  /// attempt; exhausting them surfaces ReqState::Error through the
+  /// completion callback instead of hanging.
+  int max_retries = 5;
+  /// Retry backoff base: attempt k is declared lost (and retransmitted)
+  /// retry_base_us * 2^k after it was sent.
+  double retry_base_us = 50.0;
+
+  /// Rejects configurations that would hang or misbehave silently (a zero
+  /// pipeline chunk spins the chunked rendezvous forever; negative overheads
+  /// schedule events into the past; a non-positive backoff base retries in a
+  /// zero-length loop). Called from the Context constructor.
+  void validate() const {
+    auto fail = [](const std::string& what) { throw std::invalid_argument("UcxConfig: " + what); };
+    if (rndv_pipeline_chunk == 0) fail("rndv_pipeline_chunk must be nonzero");
+    if (send_overhead_us < 0) fail("send_overhead_us must be non-negative");
+    if (recv_overhead_us < 0) fail("recv_overhead_us must be non-negative");
+    if (rndv_handshake_us < 0) fail("rndv_handshake_us must be non-negative");
+    if (rndv_pipeline_overhead_us < 0) fail("rndv_pipeline_overhead_us must be non-negative");
+    if (host_rndv_chunk_overhead_us < 0) fail("host_rndv_chunk_overhead_us must be non-negative");
+    if (gdr_latency_us < 0) fail("gdr_latency_us must be non-negative");
+    if (gdr_bandwidth_gbps <= 0) fail("gdr_bandwidth_gbps must be positive");
+    if (cuda_stage_latency_us < 0) fail("cuda_stage_latency_us must be non-negative");
+    if (max_retries < 0) fail("max_retries must be non-negative");
+    if (max_retries > 62) fail("max_retries overflows the exponential backoff");
+    if (retry_base_us <= 0) fail("retry_base_us must be positive");
+  }
 };
 
 }  // namespace cux::ucx

@@ -48,9 +48,29 @@ class Context {
   RequestPtr amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byte> payload,
                     CompletionFn cb = {});
 
+  /// Like tagSend, but a device-memory source is first staged to the host
+  /// (cudaMemcpy D2H through the GPU egress link) and then sent as a host
+  /// message under the same tag. This is the degraded route DeviceComm falls
+  /// back to when the GPU-aware path exhausts its retries or the link is
+  /// down; a pre-posted receive for the tag still matches.
+  RequestPtr tagSendHostStaged(int src_pe, int dst_pe, const void* buf, std::uint64_t len,
+                               Tag tag, CompletionFn cb);
+
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t sendsStarted() const noexcept { return sends_started_; }
   [[nodiscard]] std::uint64_t bytesSent() const noexcept { return bytes_sent_; }
+  /// Retransmissions issued by the reliability layer (0 unless the fault
+  /// injector is enabled).
+  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
+  /// Sends that exhausted max_retries and completed with ReqState::Error.
+  [[nodiscard]] std::uint64_t sendErrors() const noexcept { return send_errors_; }
+  /// Duplicate deliveries suppressed across all workers (retransmit raced a
+  /// jitter-delayed original).
+  [[nodiscard]] std::uint64_t duplicatesSuppressed() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& w : workers_) n += w->duplicatesSuppressed();
+    return n;
+  }
 
  private:
   friend class Worker;
@@ -60,21 +80,71 @@ class Context {
   [[nodiscard]] sim::TimePoint stageDeviceEager(sim::TimePoint t, int pe, std::uint64_t len,
                                                 bool egress);
 
+  /// Protocol selection body shared by tagSend and the host-staged fallback
+  /// (which re-enters it with src_device forced off after the D2H copy).
+  void startSend(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                 bool src_device, RequestPtr req, CompletionFn cb);
+
   void sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
                  bool src_device, RequestPtr req, CompletionFn cb);
   void sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
                 bool src_device, RequestPtr req, CompletionFn cb);
 
+  /// Result of the rendezvous data movement. `ok == false` means a leg
+  /// (CTS or data) exhausted its retransmission budget: the sender has been
+  /// scheduled to complete with ReqState::Error and the receiver must fail
+  /// its request too instead of waiting forever.
+  struct RndvResult {
+    sim::TimePoint data_arrival = 0;
+    bool ok = true;
+  };
+
   /// Executes the rendezvous data movement once the receiver has matched.
-  /// Called by Worker::startRndvTransfer; returns the receive completion
-  /// time and schedules sender-side completion.
-  sim::TimePoint rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf);
+  /// Called by Worker::startRndvTransfer; returns the data arrival time and
+  /// schedules sender-side completion (Done via ATS, or Error).
+  RndvResult rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf);
+
+  // --- reliability (active only while the fault injector is enabled) -------
+
+  /// True when transfers consult the fault injector and the retry state
+  /// machine runs. When false every send takes the fault-free code path
+  /// unchanged, keeping trace hashes bit-identical to pre-fault builds.
+  [[nodiscard]] bool reliable() const noexcept { return sys_.fault.enabled(); }
+
+  /// Attempt k is declared lost (and retransmitted) this long after it was
+  /// sent: retry_base_us * 2^k, the classic exponential backoff.
+  [[nodiscard]] sim::Duration retryDelay(int attempt) const noexcept {
+    return sim::usec(cfg_.retry_base_us) * (sim::Duration{1} << attempt);
+  }
+
+  /// Monotonically increasing wire sequence number (per Context); 0 is
+  /// reserved for "unreliable, no dedup".
+  [[nodiscard]] std::uint64_t nextSeq() noexcept { return ++next_seq_; }
+
+  /// In-flight state of one reliable wire message: the Incoming template
+  /// cloned for each (re)transmission attempt, plus delivery tracking.
+  struct WireState;
+
+  /// Transmits attempt `attempt` of `ws` at the current engine time: consults
+  /// the injector, schedules the arrival (unless dropped) and the retry
+  /// deadline. Exhausting max_retries surfaces ReqState::Error through the
+  /// completion callback — an operation never hangs.
+  void reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt);
+
+  /// Synchronous retry loop for receiver-driven control messages (CTS/ATS)
+  /// whose delivery time is computed inline rather than via onArrival.
+  /// Returns {arrival time, ok}; `ok == false` after max_retries losses.
+  std::pair<sim::TimePoint, bool> faultedCtrl(int src_pe, int dst_pe, sim::TimePoint send_t,
+                                              sim::Duration flight, Tag tag, const char* what);
 
   hw::System& sys_;
   UcxConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t sends_started_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t send_errors_ = 0;
 };
 
 }  // namespace cux::ucx

@@ -13,7 +13,10 @@ namespace cux::ucx {
 using Tag = std::uint64_t;
 inline constexpr Tag kFullMask = ~Tag{0};
 
-enum class ReqState : std::uint8_t { Pending, Done, Cancelled };
+/// `Error` is terminal: the reliability layer exhausted its retransmission
+/// budget (or a rendezvous leg failed permanently). It is surfaced through
+/// the completion callback exactly once — an operation never hangs.
+enum class ReqState : std::uint8_t { Pending, Done, Cancelled, Error };
 
 struct Request {
   ReqState state = ReqState::Pending;
@@ -23,6 +26,7 @@ struct Request {
 
   [[nodiscard]] bool done() const noexcept { return state == ReqState::Done; }
   [[nodiscard]] bool cancelled() const noexcept { return state == ReqState::Cancelled; }
+  [[nodiscard]] bool failed() const noexcept { return state == ReqState::Error; }
 };
 
 using RequestPtr = std::shared_ptr<Request>;

@@ -21,9 +21,94 @@ namespace {
 // ---------------------------------------------------------------------------
 
 Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
+  cfg_.validate();
   const int pes = sys.config.numPes();
   workers_.reserve(static_cast<std::size_t>(pes));
   for (int pe = 0; pe < pes; ++pe) workers_.push_back(std::make_unique<Worker>(*this, pe));
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer (active only while the fault injector is enabled)
+// ---------------------------------------------------------------------------
+
+/// In-flight state of one reliable wire message. `proto` is the template
+/// Incoming cloned for every (re)transmission attempt — duplicates carry the
+/// same sequence number, so the receiver-side filter suppresses the extras.
+struct Context::WireState {
+  Worker::Incoming proto;
+  int src_pe = -1;
+  int dst_pe = -1;
+  sim::MsgClass cls = sim::MsgClass::Eager;
+  /// Control message (rendezvous RTS): flies at control latency, and the
+  /// sender request is completed later by the ATS (or by exhaustion here).
+  bool ctrl = false;
+  RequestPtr req;
+  CompletionFn cb;
+  bool delivered = false;
+};
+
+void Context::reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt) {
+  sim::Engine& engine = sys_.engine;
+  const sim::TimePoint now = engine.now();
+  const auto dec = sys_.fault.decide(now, ws->cls, ws->src_pe, ws->dst_pe);
+  if (dec.drop) {
+    sys_.trace.record(now, sim::TraceCat::Drop, ws->src_pe, ws->dst_pe, ws->proto.len,
+                      ws->proto.tag, ws->ctrl ? "rts" : "wire");
+  } else {
+    const hw::Path path = sys_.machine.hostToHostPath(ws->src_pe, ws->dst_pe);
+    const sim::TimePoint arrival =
+        (ws->ctrl ? hw::Machine::ctrlTransfer(path, now, cfg_.header_bytes)
+                  : sys_.machine.transfer(path, now, ws->proto.len + cfg_.header_bytes)) +
+        dec.delay;
+    engine.schedule(arrival, [this, ws] {
+      // Clone the template: a late original and a retransmit may both arrive,
+      // and the receiver's sequence filter keeps exactly one.
+      Worker::Incoming copy = ws->proto;
+      if (!ws->delivered) {
+        ws->delivered = true;
+        // Sender completion models the transport-level ack: Done at first
+        // delivery (rendezvous RTS senders instead complete via ATS).
+        if (!ws->ctrl && ws->req && ws->req->state == ReqState::Pending) {
+          ws->req->state = ReqState::Done;
+          if (ws->cb) ws->cb(*ws->req);
+        }
+      }
+      worker(ws->dst_pe).onArrival(std::move(copy));
+    });
+  }
+  // Retry deadline: attempt k is declared lost retry_base_us * 2^k after it
+  // was sent. Exhaustion surfaces ReqState::Error — an operation never hangs.
+  engine.schedule(now + retryDelay(attempt), [this, ws, attempt] {
+    if (ws->delivered) return;
+    if (attempt >= cfg_.max_retries) {
+      ++send_errors_;
+      sys_.trace.record(sys_.engine.now(), sim::TraceCat::Drop, ws->src_pe, ws->dst_pe,
+                        ws->proto.len, ws->proto.tag, "retries-exhausted");
+      if (ws->req && ws->req->state == ReqState::Pending) {
+        ws->req->state = ReqState::Error;
+        if (ws->cb) ws->cb(*ws->req);
+      }
+      return;
+    }
+    ++retransmits_;
+    sys_.trace.record(sys_.engine.now(), sim::TraceCat::Retry, ws->src_pe, ws->dst_pe,
+                      ws->proto.len, ws->proto.tag, ws->ctrl ? "rts" : "wire");
+    reliableTransmit(ws, attempt + 1);
+  });
+}
+
+std::pair<sim::TimePoint, bool> Context::faultedCtrl(int src_pe, int dst_pe,
+                                                     sim::TimePoint send_t, sim::Duration flight,
+                                                     Tag tag, const char* what) {
+  for (int attempt = 0;; ++attempt) {
+    const auto dec = sys_.fault.decide(send_t, sim::MsgClass::RndvCtrl, src_pe, dst_pe);
+    if (!dec.drop) return {send_t + flight + dec.delay, true};
+    sys_.trace.record(send_t, sim::TraceCat::Drop, src_pe, dst_pe, 0, tag, what);
+    if (attempt >= cfg_.max_retries) return {send_t + flight, false};
+    ++retransmits_;
+    sys_.trace.record(send_t, sim::TraceCat::Retry, src_pe, dst_pe, 0, tag, what);
+    send_t += retryDelay(attempt);
+  }
 }
 
 sim::TimePoint Context::stageDeviceEager(sim::TimePoint t, int pe, std::uint64_t len,
@@ -48,19 +133,48 @@ RequestPtr Context::tagSend(int src_pe, int dst_pe, const void* buf, std::uint64
   req->matched_tag = tag;
   ++sends_started_;
   bytes_sent_ += len;
+  startSend(src_pe, dst_pe, buf, len, tag, sys_.memory.isDevice(buf), req, std::move(cb));
+  return req;
+}
 
-  const bool src_device = sys_.memory.isDevice(buf);
+void Context::startSend(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
+                        bool src_device, RequestPtr req, CompletionFn cb) {
   const std::uint64_t eager_limit = src_device ? cfg_.device_eager_threshold
                                                : cfg_.host_eager_threshold;
   if (len <= eager_limit) {
     sys_.trace.record(sys_.engine.now(), sim::TraceCat::UcxSend, src_pe, dst_pe, len, tag,
                       src_device ? "eager-device" : "eager-host");
-    sendEager(src_pe, dst_pe, buf, len, tag, src_device, req, std::move(cb));
+    sendEager(src_pe, dst_pe, buf, len, tag, src_device, std::move(req), std::move(cb));
   } else {
     sys_.trace.record(sys_.engine.now(), sim::TraceCat::UcxSend, src_pe, dst_pe, len, tag,
                       src_device ? "rndv-device" : "rndv-host");
-    sendRndv(src_pe, dst_pe, buf, len, tag, src_device, req, std::move(cb));
+    sendRndv(src_pe, dst_pe, buf, len, tag, src_device, std::move(req), std::move(cb));
   }
+}
+
+RequestPtr Context::tagSendHostStaged(int src_pe, int dst_pe, const void* buf, std::uint64_t len,
+                                      Tag tag, CompletionFn cb) {
+  if (!sys_.memory.isDevice(buf)) return tagSend(src_pe, dst_pe, buf, len, tag, std::move(cb));
+
+  auto req = std::make_shared<Request>();
+  req->peer_pe = dst_pe;
+  req->bytes = len;
+  req->matched_tag = tag;
+  ++sends_started_;
+  bytes_sent_ += len;
+
+  // Degraded route: cudaMemcpy D2H through the GPU egress link first, then a
+  // plain host-memory send under the same tag (a pre-posted receive still
+  // matches). This is the path the real machine layer takes when the
+  // GPU-aware transport is unavailable.
+  sim::Engine& engine = sys_.engine;
+  const hw::GpuId gpu = sys_.machine.gpuOfPe(src_pe);
+  const sim::TimePoint staged =
+      sys_.machine.gpuUp(gpu).reserve(engine.now() + sim::usec(cfg_.cuda_stage_latency_us), len);
+  engine.schedule(staged, [this, src_pe, dst_pe, buf, len, tag, req, cb = std::move(cb)]() mutable {
+    startSend(src_pe, dst_pe, buf, len, tag, /*src_device=*/false, std::move(req),
+              std::move(cb));
+  });
   return req;
 }
 
@@ -79,6 +193,23 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
 
   if (len <= cfg_.host_eager_threshold) {
     const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
+    if (reliable()) {
+      Worker::Incoming msg;
+      msg.tag = tag;
+      msg.src_pe = src_pe;
+      msg.len = len;
+      msg.seq = nextSeq();
+      msg.payload = std::move(payload);
+      auto ws = std::make_shared<WireState>();
+      ws->proto = std::move(msg);
+      ws->src_pe = src_pe;
+      ws->dst_pe = dst_pe;
+      ws->cls = sim::MsgClass::Am;
+      ws->req = req;
+      ws->cb = std::move(cb);
+      engine.schedule(t0, [this, ws] { reliableTransmit(ws, 0); });
+      return req;
+    }
     engine.schedule(t0, [req, cb] {
       req->state = ReqState::Done;
       if (cb) cb(*req);
@@ -103,8 +234,6 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
   // earlier revision did) is a use-after-free.
   auto shared_payload = std::make_shared<const std::vector<std::byte>>(std::move(payload));
   const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
-  const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
-  const sim::TimePoint rts_arrival = hw::Machine::ctrlTransfer(path, t0, cfg_.header_bytes);
   Worker::Incoming msg;
   msg.tag = tag;
   msg.src_pe = src_pe;
@@ -112,8 +241,26 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
   msg.is_rndv = true;
   msg.src_ptr = shared_payload->data();
   msg.send_req = req;
-  msg.send_cb = std::move(cb);
+  msg.send_cb = cb;
   msg.payload_owner = std::move(shared_payload);
+  if (reliable()) {
+    // The RTS is a control message: retransmitted until one copy is
+    // delivered; sender completion then comes via the ATS (rndvTransfer), or
+    // via Error here if every RTS attempt is lost.
+    msg.seq = nextSeq();
+    auto ws = std::make_shared<WireState>();
+    ws->proto = std::move(msg);
+    ws->src_pe = src_pe;
+    ws->dst_pe = dst_pe;
+    ws->cls = sim::MsgClass::RndvCtrl;
+    ws->ctrl = true;
+    ws->req = req;
+    ws->cb = std::move(cb);
+    engine.schedule(t0, [this, ws] { reliableTransmit(ws, 0); });
+    return req;
+  }
+  const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+  const sim::TimePoint rts_arrival = hw::Machine::ctrlTransfer(path, t0, cfg_.header_bytes);
   engine.schedule(rts_arrival,
                   [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
   return req;
@@ -124,12 +271,6 @@ void Context::sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t l
   sim::Engine& engine = sys_.engine;
   sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
   if (src_device) t0 = stageDeviceEager(t0, src_pe, len, /*egress=*/true);
-
-  // Eager sends complete locally once the payload has been captured.
-  engine.schedule(t0, [req, cb] {
-    req->state = ReqState::Done;
-    if (cb) cb(*req);
-  });
 
   Worker::Incoming msg;
   msg.tag = tag;
@@ -143,6 +284,28 @@ void Context::sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t l
     msg.payload_valid = (len == 0);
   }
 
+  if (reliable()) {
+    // Sender completion models the transport ack: Done on first delivered
+    // attempt (never locally at t0, which would hide a lost message), Error
+    // after the retry budget.
+    msg.seq = nextSeq();
+    auto ws = std::make_shared<WireState>();
+    ws->proto = std::move(msg);
+    ws->src_pe = src_pe;
+    ws->dst_pe = dst_pe;
+    ws->cls = sim::MsgClass::Eager;
+    ws->req = std::move(req);
+    ws->cb = std::move(cb);
+    engine.schedule(t0, [this, ws] { reliableTransmit(ws, 0); });
+    return;
+  }
+
+  // Eager sends complete locally once the payload has been captured.
+  engine.schedule(t0, [req, cb] {
+    req->state = ReqState::Done;
+    if (cb) cb(*req);
+  });
+
   const hw::Path path = sys_.machine.hostToHostPath(src_pe, dst_pe);
   const sim::TimePoint arrival = sys_.machine.transfer(path, t0, len + cfg_.header_bytes);
   Worker& dst = worker(dst_pe);
@@ -154,9 +317,6 @@ void Context::sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t le
                        bool src_device, RequestPtr req, CompletionFn cb) {
   sim::Engine& engine = sys_.engine;
   const sim::TimePoint t0 = engine.now() + sim::usec(cfg_.send_overhead_us);
-  const hw::Path ctrl_path = sys_.machine.hostToHostPath(src_pe, dst_pe);
-  const sim::TimePoint rts_arrival =
-      hw::Machine::ctrlTransfer(ctrl_path, t0, cfg_.header_bytes);
 
   Worker::Incoming msg;
   msg.tag = tag;
@@ -165,14 +325,33 @@ void Context::sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t le
   msg.is_rndv = true;
   msg.src_ptr = buf;
   msg.src_device = src_device;
-  msg.send_req = std::move(req);
-  msg.send_cb = std::move(cb);
+  msg.send_req = req;
+  msg.send_cb = cb;
+
+  if (reliable()) {
+    msg.seq = nextSeq();
+    auto ws = std::make_shared<WireState>();
+    ws->proto = std::move(msg);
+    ws->src_pe = src_pe;
+    ws->dst_pe = dst_pe;
+    ws->cls = sim::MsgClass::RndvCtrl;
+    ws->ctrl = true;
+    ws->req = std::move(req);
+    ws->cb = std::move(cb);
+    engine.schedule(t0, [this, ws] { reliableTransmit(ws, 0); });
+    return;
+  }
+
+  const hw::Path ctrl_path = sys_.machine.hostToHostPath(src_pe, dst_pe);
+  const sim::TimePoint rts_arrival =
+      hw::Machine::ctrlTransfer(ctrl_path, t0, cfg_.header_bytes);
   Worker& dst = worker(dst_pe);
   engine.schedule(rts_arrival,
                   [&dst, msg = std::move(msg)]() mutable { dst.onArrival(std::move(msg)); });
 }
 
-sim::TimePoint Context::rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf) {
+Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_pe,
+                                          void* dst_buf) {
   sim::Engine& engine = sys_.engine;
   hw::Machine& machine = sys_.machine;
   const int src_pe = msg.src_pe;
@@ -183,59 +362,80 @@ sim::TimePoint Context::rndvTransfer(const Worker::Incoming& msg, int dst_pe, vo
   const sim::TimePoint t_match = engine.now() + sim::usec(cfg_.rndv_handshake_us);
   sys_.trace.record(engine.now(), sim::TraceCat::UcxRndv, dst_pe, src_pe, len, msg.tag,
                     "matched");
-  sim::TimePoint data_arrival = 0;
 
   const bool same_node = machine.sameNode(src_pe, dst_pe);
-  if (src_device && dst_device && same_node) {
-    // CUDA-IPC-style direct pull across NVLink (possibly via X-Bus).
-    data_arrival = machine.transfer(machine.deviceToDevicePath(src_pe, dst_pe), t_match, len);
-  } else if (src_device && dst_device) {
-    // Inter-node: pipelined host staging in chunks (the UCX cuda pipeline).
-    // CTS travels back to the sender, which then pushes chunks through
-    // D2H -> NIC -> NIC -> H2D; per-link FIFO occupancy pipelines chunks.
-    const sim::TimePoint cts_arrival =
-        hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), t_match,
-                                  cfg_.header_bytes) +
-        sim::usec(cfg_.rndv_handshake_us);
-    const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
-    hw::Link& up = machine.gpuUp(machine.gpuOfPe(src_pe));
-    hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
-    hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
-    hw::Link& down = machine.gpuDown(machine.gpuOfPe(dst_pe));
-    std::uint64_t remaining = len;
-    sim::TimePoint last = cts_arrival;
-    while (remaining > 0) {
-      const std::uint64_t c = remaining < chunk ? remaining : chunk;
-      const sim::TimePoint a = up.reserve(cts_arrival, c);
-      const sim::TimePoint b = nic_up.reserve(a, c);
-      // Chunk management occupies the injection stage, capping the pipeline
-      // below wire speed (paper: ~10 of 12.5 GB/s).
-      nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.rndv_pipeline_overhead_us));
-      const sim::TimePoint d = nic_down.reserve(b, c);
-      last = down.reserve(d, c);
-      remaining -= c;
+
+  // One pass of the data movement starting at `start`; returns the arrival
+  // time. Sets `cts_ok = false` when the reliable CTS leg exhausted its
+  // retry budget (inter-node device pipeline only — the other shapes are
+  // receiver pulls with no sender-bound control message).
+  auto computeOnce = [&](sim::TimePoint start, bool& cts_ok) -> sim::TimePoint {
+    cts_ok = true;
+    if (src_device && dst_device && same_node) {
+      // CUDA-IPC-style direct pull across NVLink (possibly via X-Bus).
+      return machine.transfer(machine.deviceToDevicePath(src_pe, dst_pe), start, len);
     }
-    data_arrival = last;
-  } else if (!src_device && !dst_device && !same_node) {
-    // Inter-node host rendezvous from unregistered (pageable) memory: UCX
-    // chunks through pre-registered bounce buffers; the bounce copy shares
-    // the CPU with NIC posting, so each chunk occupies the injection stage
-    // beyond its wire time. This is what keeps the -H variants below the
-    // GPU-aware pipeline even though EDR bounds both.
-    const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
-    hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
-    hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
-    std::uint64_t remaining = len;
-    sim::TimePoint last = t_match;
-    while (remaining > 0) {
-      const std::uint64_t c = remaining < chunk ? remaining : chunk;
-      const sim::TimePoint b = nic_up.reserve(t_match, c);
-      nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.host_rndv_chunk_overhead_us));
-      last = nic_down.reserve(b, c);
-      remaining -= c;
+    if (src_device && dst_device) {
+      // Inter-node: pipelined host staging in chunks (the UCX cuda pipeline).
+      // CTS travels back to the sender, which then pushes chunks through
+      // D2H -> NIC -> NIC -> H2D; per-link FIFO occupancy pipelines chunks.
+      sim::TimePoint cts_arrival;
+      if (reliable()) {
+        const sim::Duration flight =
+            hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), start,
+                                      cfg_.header_bytes) -
+            start;
+        const auto [t, ok] = faultedCtrl(dst_pe, src_pe, start, flight, msg.tag, "cts");
+        if (!ok) {
+          cts_ok = false;
+          return t;
+        }
+        cts_arrival = t + sim::usec(cfg_.rndv_handshake_us);
+      } else {
+        cts_arrival = hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), start,
+                                                cfg_.header_bytes) +
+                      sim::usec(cfg_.rndv_handshake_us);
+      }
+      const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
+      hw::Link& up = machine.gpuUp(machine.gpuOfPe(src_pe));
+      hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
+      hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
+      hw::Link& down = machine.gpuDown(machine.gpuOfPe(dst_pe));
+      std::uint64_t remaining = len;
+      sim::TimePoint last = cts_arrival;
+      while (remaining > 0) {
+        const std::uint64_t c = remaining < chunk ? remaining : chunk;
+        const sim::TimePoint a = up.reserve(cts_arrival, c);
+        const sim::TimePoint b = nic_up.reserve(a, c);
+        // Chunk management occupies the injection stage, capping the pipeline
+        // below wire speed (paper: ~10 of 12.5 GB/s).
+        nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.rndv_pipeline_overhead_us));
+        const sim::TimePoint d = nic_down.reserve(b, c);
+        last = down.reserve(d, c);
+        remaining -= c;
+      }
+      return last;
     }
-    data_arrival = last;
-  } else {
+    if (!src_device && !dst_device && !same_node) {
+      // Inter-node host rendezvous from unregistered (pageable) memory: UCX
+      // chunks through pre-registered bounce buffers; the bounce copy shares
+      // the CPU with NIC posting, so each chunk occupies the injection stage
+      // beyond its wire time. This is what keeps the -H variants below the
+      // GPU-aware pipeline even though EDR bounds both.
+      const std::uint64_t chunk = cfg_.rndv_pipeline_chunk;
+      hw::Link& nic_up = machine.nicUp(machine.nodeOfPe(src_pe));
+      hw::Link& nic_down = machine.nicDown(machine.nodeOfPe(dst_pe));
+      std::uint64_t remaining = len;
+      sim::TimePoint last = start;
+      while (remaining > 0) {
+        const std::uint64_t c = remaining < chunk ? remaining : chunk;
+        const sim::TimePoint b = nic_up.reserve(start, c);
+        nic_up.setFreeAt(nic_up.freeAt() + sim::usec(cfg_.host_rndv_chunk_overhead_us));
+        last = nic_down.reserve(b, c);
+        remaining -= c;
+      }
+      return last;
+    }
     // Mixed or intra-node host: compose egress/host/ingress segments.
     hw::Path path;
     if (src_device) {
@@ -248,22 +448,86 @@ sim::TimePoint Context::rndvTransfer(const Worker::Incoming& msg, int dst_pe, vo
       hw::Path i = machine.deviceIngressPath(dst_pe);
       path.insert(path.end(), i.begin(), i.end());
     }
-    data_arrival = machine.transfer(path, t_match, len);
-    if (path.empty()) data_arrival = t_match;  // self-send
+    const sim::TimePoint arrival = machine.transfer(path, start, len);
+    return path.empty() ? start : arrival;  // empty path: self-send
+  };
+
+  sim::TimePoint data_arrival = 0;
+  bool failed = false;
+  if (!reliable()) {
+    bool cts_ok = true;
+    data_arrival = computeOnce(t_match, cts_ok);
+  } else {
+    // Reliable data leg: each attempt is faulted at transmit time; a dropped
+    // attempt is retransmitted after the backoff, re-running the link
+    // reservations (the retransmission occupies real wire time).
+    sim::TimePoint start = t_match;
+    for (int attempt = 0;; ++attempt) {
+      const auto dec = sys_.fault.decide(start, sim::MsgClass::RndvData, src_pe, dst_pe);
+      if (!dec.drop) {
+        bool cts_ok = true;
+        data_arrival = computeOnce(start, cts_ok) + dec.delay;
+        failed = !cts_ok;
+        break;
+      }
+      sys_.trace.record(start, sim::TraceCat::Drop, src_pe, dst_pe, len, msg.tag, "rndv-data");
+      if (attempt >= cfg_.max_retries) {
+        failed = true;
+        data_arrival = start;
+        break;
+      }
+      ++retransmits_;
+      sys_.trace.record(start, sim::TraceCat::Retry, src_pe, dst_pe, len, msg.tag, "rndv-data");
+      start += retryDelay(attempt);
+    }
+  }
+
+  RequestPtr send_req = msg.send_req;
+  CompletionFn send_cb = msg.send_cb;
+
+  if (failed) {
+    // The CTS or data leg exhausted its budget: the transfer fails
+    // permanently. Sender completes with Error here; the caller fails the
+    // receive side (RndvResult::ok == false).
+    ++send_errors_;
+    sys_.trace.record(data_arrival, sim::TraceCat::Drop, src_pe, dst_pe, len, msg.tag,
+                      "rndv-failed");
+    engine.schedule(data_arrival, [send_req, send_cb] {
+      if (send_req && send_req->state == ReqState::Pending) {
+        send_req->state = ReqState::Error;
+        if (send_cb) send_cb(*send_req);
+      }
+    });
+    return {data_arrival, false};
   }
 
   // Sender-side completion: ATS control message back after the data is out.
-  const sim::TimePoint ats_arrival =
-      hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), data_arrival,
-                                cfg_.header_bytes) +
-      sim::usec(cfg_.rndv_handshake_us);
-  RequestPtr send_req = msg.send_req;
-  CompletionFn send_cb = msg.send_cb;
-  engine.schedule(ats_arrival, [send_req, send_cb] {
-    if (send_req) send_req->state = ReqState::Done;
-    if (send_cb && send_req) send_cb(*send_req);
+  // Under faults the ATS is receiver-driven and retried; if every attempt is
+  // lost, the data did arrive (receiver completes Done) but the sender can
+  // never learn it — it completes with Error.
+  sim::TimePoint ats_arrival;
+  bool ats_ok = true;
+  if (reliable()) {
+    const sim::Duration flight =
+        hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), data_arrival,
+                                  cfg_.header_bytes) -
+        data_arrival;
+    const auto [t, ok] = faultedCtrl(dst_pe, src_pe, data_arrival, flight, msg.tag, "ats");
+    ats_arrival = t + sim::usec(cfg_.rndv_handshake_us);
+    ats_ok = ok;
+    if (!ats_ok) ++send_errors_;
+  } else {
+    ats_arrival = hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), data_arrival,
+                                            cfg_.header_bytes) +
+                  sim::usec(cfg_.rndv_handshake_us);
+  }
+  engine.schedule(ats_arrival, [send_req, send_cb, ats_ok] {
+    if (send_req && send_req->state == ReqState::Pending) {
+      send_req->state = ats_ok ? ReqState::Done : ReqState::Error;
+      if (send_cb) send_cb(*send_req);
+    }
   });
-  return data_arrival;
+  return {data_arrival, true};
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +591,16 @@ bool Worker::cancelRecv(const RequestPtr& req) {
 }
 
 void Worker::onArrival(Incoming msg) {
+  // Reliable-mode duplicate suppression: a retransmit racing a late
+  // (jitter-delayed) original must not double-deliver. seq 0 means the
+  // fault injector is off — no filter state is touched at all.
+  if (msg.seq != 0 && !seen_seqs_.insert(msg.seq).second) {
+    ++dups_suppressed_;
+    hw::System& sys = ctx_.system();
+    sys.trace.record(sys.engine.now(), sim::TraceCat::Drop, pe_, msg.src_pe, msg.len, msg.tag,
+                     "duplicate");
+    return;
+  }
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (tagsMatch(msg.tag, it->tag, it->mask)) {
       PostedRecv r = std::move(*it);
@@ -361,6 +635,7 @@ void Worker::onArrival(Incoming msg) {
     }
   }
   unexpected_.push_back(std::move(msg));
+  if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
 }
 
 void Worker::completeRecvFromEager(PostedRecv r, Incoming msg) {
@@ -396,13 +671,33 @@ void Worker::startRndvTransfer(PostedRecv r, Incoming msg) {
   assert(msg.len <= r.len && "rendezvous message truncation (recv buffer too small)");
   Context& ctx = ctx_;
   sim::Engine& engine = ctx.system().engine;
-  const sim::TimePoint data_arrival = ctx.rndvTransfer(msg, pe_, r.buf);
-  const sim::TimePoint done = data_arrival + sim::usec(ctx.config().recv_overhead_us);
+  const Context::RndvResult res = ctx.rndvTransfer(msg, pe_, r.buf);
 
   RequestPtr req = r.req;
   req->matched_tag = msg.tag;
   req->bytes = msg.len;
   req->peer_pe = msg.src_pe;
+
+  if (!res.ok) {
+    // A rendezvous leg exhausted its retransmission budget: fail the receive
+    // terminally (the sender's Error is already scheduled) instead of
+    // leaving the request pending forever.
+    CompletionFn fail_cb = std::move(r.cb);
+    const int pe = pe_;
+    const Tag tag = msg.tag;
+    const int src_pe = msg.src_pe;
+    const std::uint64_t len = msg.len;
+    engine.schedule(res.data_arrival, [&sys = ctx.system(), req, cb = std::move(fail_cb), pe,
+                                       tag, src_pe, len] {
+      req->state = ReqState::Error;
+      sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag,
+                       "rndv-failed");
+      if (cb) cb(*req);
+    });
+    return;
+  }
+
+  const sim::TimePoint done = res.data_arrival + sim::usec(ctx.config().recv_overhead_us);
   void* buf = r.buf;
   const void* src = msg.src_ptr;
   const std::uint64_t len = msg.len;
@@ -444,9 +739,10 @@ void Worker::deliverToHandler(HandlerFn& fn, Incoming msg) {
   const int src_pe = msg.src_pe;
   const std::uint64_t len = msg.len;
   const void* src = msg.src_ptr;
-  const sim::TimePoint data_arrival =
+  const Context::RndvResult res =
       ctx.rndvTransfer(msg, pe_, storage->empty() ? nullptr : storage->data());
-  const sim::TimePoint done = data_arrival + sim::usec(ctx.config().recv_overhead_us);
+  if (!res.ok) return;  // transfer failed permanently; the sender saw Error
+  const sim::TimePoint done = res.data_arrival + sim::usec(ctx.config().recv_overhead_us);
   HandlerFn* fp = &fn;
   engine.schedule(done, [fp, storage, src_deref, src, len, tag, src_pe,
                          owner = std::move(msg.payload_owner)] {

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "ucx/request.hpp"
@@ -87,6 +88,12 @@ class Worker {
   // --- statistics --------------------------------------------------------
   [[nodiscard]] std::size_t postedCount() const noexcept { return posted_.size(); }
   [[nodiscard]] std::size_t unexpectedCount() const noexcept { return unexpected_.size(); }
+  /// Largest size the unexpected queue ever reached; retransmission storms
+  /// inflate it, and the fault-injection tests assert it stays bounded.
+  [[nodiscard]] std::size_t unexpectedHighWatermark() const noexcept { return unexpected_hwm_; }
+  /// Duplicate deliveries suppressed by the wire sequence-number filter
+  /// (a retransmit racing a jitter-delayed original).
+  [[nodiscard]] std::uint64_t duplicatesSuppressed() const noexcept { return dups_suppressed_; }
 
  private:
   friend class Context;
@@ -104,12 +111,15 @@ class Worker {
   /// two shapes is populated: eager (payload travelled with the header) or
   /// rendezvous (payload still lives at src_ptr on the sender).
   ///
-  /// Field order packs the struct to 120 bytes so an arrival capture
+  /// Field order packs the struct to 128 bytes so an arrival capture
   /// (worker pointer + Incoming) fits sim::SmallFn's inline buffer; audit
   /// sizes before adding fields (see docs/architecture.md).
   struct Incoming {
     Tag tag = 0;
     std::uint64_t len = 0;
+    /// Reliable-mode wire sequence number; 0 when the fault injector is off.
+    /// Nonzero duplicates (retransmits) are suppressed at arrival.
+    std::uint64_t seq = 0;
     const void* src_ptr = nullptr;   ///< rendezvous: payload still at the sender
     std::vector<std::byte> payload;  ///< eager: payload travelled with the header
     RequestPtr send_req;             ///< rendezvous: sender-side request
@@ -148,6 +158,9 @@ class Worker {
   std::deque<Incoming> unexpected_;
   std::deque<Handler> handlers_;  // deque: handler addresses stay stable
   std::deque<BufferedHandler> buffered_handlers_;
+  std::unordered_set<std::uint64_t> seen_seqs_;  ///< reliable-mode dedup filter
+  std::size_t unexpected_hwm_ = 0;
+  std::uint64_t dups_suppressed_ = 0;
 };
 
 }  // namespace cux::ucx

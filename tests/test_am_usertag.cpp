@@ -221,7 +221,9 @@ TEST(UserTag, PrePostingBeatsMetadataLatency) {
                               core::DeviceRecvType::Charm,
                               [&] { done = f.sys->engine.now(); });
       });
-      f.cmi->runOn(0, [&] {
+      // h by value: this lambda runs from engine.run() below, after the
+      // enclosing else-block (and h) has gone out of scope.
+      f.cmi->runOn(0, [&, h] {
         core::CmiDeviceBuffer buf{a.get(), n, 0};
         f.dev->lrtsSendDevice(0, 6, buf);
         std::vector<std::byte> meta(8);

@@ -319,19 +319,27 @@ TEST(DeviceComm, UserTagSendsStayOrderedInSmpMode) {
   EXPECT_EQ(order[1], core::MsgType::DeviceUser);
 }
 
-TEST(DeviceComm, AccountsRecvTypes) {
+// Regression: sendsByType used to read the *receive* counters, so a send
+// issued as one model type was invisible while an unrelated receive was
+// reported as a send. The two families are now tracked independently.
+TEST(DeviceComm, AccountsSendAndRecvTypesIndependently) {
   CoreFixture f;
   cuda::DeviceBuffer src(*f.sys, 0, 64), dst(*f.sys, 1, 64);
   core::CmiDeviceBuffer buf{src.get(), 64, 0};
   f.cmi->runOn(0, [&] {
-    f.dev->lrtsSendDevice(0, 1, buf);
+    f.dev->lrtsSendDevice(0, 1, buf, {}, core::DeviceRecvType::Charm4py);
     f.cmi->runOn(1, [&] {
       f.dev->lrtsRecvDevice(1, core::DeviceRdmaOp{dst.get(), 64, buf.tag},
                             core::DeviceRecvType::Ampi, {});
     });
   });
   f.sys->engine.run();
-  EXPECT_EQ(f.dev->sendsByType(core::DeviceRecvType::Ampi), 1u);
+  EXPECT_EQ(f.dev->sendsByType(core::DeviceRecvType::Charm4py), 1u);
+  EXPECT_EQ(f.dev->recvsByType(core::DeviceRecvType::Ampi), 1u);
+  // The bug's signature: a send must never surface through the recv counter
+  // of its type, nor a recv through the send counter.
+  EXPECT_EQ(f.dev->sendsByType(core::DeviceRecvType::Ampi), 0u);
+  EXPECT_EQ(f.dev->recvsByType(core::DeviceRecvType::Charm4py), 0u);
   EXPECT_EQ(f.dev->deviceSends(), 1u);
 }
 

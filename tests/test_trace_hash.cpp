@@ -32,8 +32,9 @@ TEST(TraceHash, OrderSensitive) {
   EXPECT_NE(a.hash(), sim::Tracer{}.hash());
 }
 
-std::uint64_t mixedUcxTrafficHash() {
+std::uint64_t mixedUcxTrafficHash(const sim::FaultConfig& fault = {}) {
   model::Model m = model::summit(2);
+  m.machine.fault = fault;
   hw::System sys(m.machine);
   sys.trace.enable();
   ucx::Context ctx(sys, m.ucx);
@@ -86,9 +87,10 @@ TEST(TraceHash, MixedUcxTrafficBitIdenticalAcrossRuns) {
   EXPECT_NE(h1, sim::Tracer{}.hash());  // the workload actually traced something
 }
 
-std::uint64_t deviceCommHash(bool smp) {
+std::uint64_t deviceCommHash(bool smp, const sim::FaultConfig& fault = {}) {
   model::Model m = model::summit(2);
   m.costs.smp_comm_thread = smp;
+  m.machine.fault = fault;
   hw::System sys(m.machine);
   sys.trace.enable();
   ucx::Context ctx(sys, m.ucx);
@@ -125,6 +127,37 @@ TEST(TraceHash, DeviceCommBitIdenticalAcrossRuns) {
   EXPECT_EQ(deviceCommHash(true), deviceCommHash(true));
   // SMP routing really changes the timeline (comm-thread serialisation).
   EXPECT_NE(deviceCommHash(false), deviceCommHash(true));
+}
+
+// The determinism contract of the fault injector: while DISABLED it must be
+// invisible — no random numbers consumed, no reliability branches taken, no
+// sequence numbers assigned — so the trace hash is bit-identical to a
+// configuration that never mentions faults at all. This holds even when drop
+// probabilities and outage windows are configured but enabled == false.
+TEST(TraceHash, DisabledInjectorIsBitIdenticalToNoInjector) {
+  sim::FaultConfig configured_but_off;
+  configured_but_off.enabled = false;
+  configured_but_off.seed = 0xDEAD;
+  configured_but_off.setAllClasses(sim::FaultPolicy{0.5, 25.0});
+  configured_but_off.down_windows.push_back(sim::LinkDownWindow{0, sim::msec(1.0), -1, -1});
+
+  EXPECT_EQ(mixedUcxTrafficHash(), mixedUcxTrafficHash(configured_but_off));
+  EXPECT_EQ(deviceCommHash(false), deviceCommHash(false, configured_but_off));
+  EXPECT_EQ(deviceCommHash(true), deviceCommHash(true, configured_but_off));
+}
+
+// Enabled faults are themselves deterministic: a fixed seed reproduces the
+// exact loss/retry/duplicate timeline; a different seed produces a
+// different one (at 10% drop over this much traffic, collision of the two
+// full timelines is implausible).
+TEST(TraceHash, EnabledInjectorIsSeedDeterministic) {
+  const auto faulty = [](std::uint64_t seed) {
+    return mixedUcxTrafficHash(sim::FaultConfig::uniformLoss(0.1, seed));
+  };
+  EXPECT_EQ(faulty(1), faulty(1));
+  EXPECT_NE(faulty(1), faulty(2));
+  // ...and injecting faults really does alter the timeline.
+  EXPECT_NE(faulty(1), mixedUcxTrafficHash());
 }
 
 }  // namespace

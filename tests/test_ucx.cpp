@@ -136,6 +136,32 @@ TEST(UcxMatching, CancelRemovesPostedRecv) {
   EXPECT_TRUE(cancelled);
 }
 
+// Regression: cancelRecv on a receive that already matched (here: against
+// the unexpected queue at post time) must refuse with false and must not
+// disturb the in-flight completion — it fires exactly once, as Done.
+TEST(UcxMatching, CancelOnMatchedRequestFailsAndCompletionFiresOnce) {
+  UcxFixture f;
+  auto src = pattern(16, 9);
+  std::vector<std::byte> dst(16);
+  f.ctx->tagSend(0, 1, src.data(), 16, 0xB, {});
+  f.sys->engine.run();  // the message now sits in the unexpected queue
+  int completions = 0;
+  auto req = f.ctx->worker(1).tagRecv(dst.data(), 16, 0xB, ucx::kFullMask,
+                                      [&](ucx::Request&) { ++completions; });
+  // Matched at post time: no longer cancellable, like ucp_request_cancel on
+  // a request whose data is already being delivered.
+  EXPECT_FALSE(f.ctx->worker(1).cancelRecv(req));
+  f.sys->engine.run();
+  EXPECT_TRUE(req->done());
+  EXPECT_FALSE(req->cancelled());
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(dst, src);
+  // Cancelling after completion must also refuse and not re-fire.
+  EXPECT_FALSE(f.ctx->worker(1).cancelRecv(req));
+  f.sys->engine.run();
+  EXPECT_EQ(completions, 1);
+}
+
 TEST(UcxMatching, CancelCallbackMayRepostWithoutReentry) {
   // A cancellation callback that immediately reposts the same tag: with the
   // deferred delivery this runs as its own event, so the repost cannot

@@ -85,6 +85,52 @@ TEST_P(UcxKnobMatrix, IntegrityAcrossAllProtocolBoundaries) {
   }
 }
 
+// UcxConfig::validate() (called from the Context constructor) must reject
+// configurations that would hang or misbehave silently instead of letting
+// them produce wrong timings: a zero pipeline chunk spins the chunked
+// rendezvous forever, negative overheads schedule events into the past, and
+// a degenerate retry setup either never retries or overflows the backoff.
+TEST(UcxConfigValidate, RejectsDegenerateConfigurations) {
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  auto construct = [&](auto mutate) {
+    ucx::UcxConfig cfg = m.ucx;
+    mutate(cfg);
+    ucx::Context ctx(sys, cfg);
+  };
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig&) {}));
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.rndv_pipeline_chunk = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.send_overhead_us = -0.1; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.recv_overhead_us = -1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.rndv_handshake_us = -0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.rndv_pipeline_overhead_us = -4.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.host_rndv_chunk_overhead_us = -1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.gdr_latency_us = -0.6; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.gdr_bandwidth_gbps = 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.cuda_stage_latency_us = -6.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = -1; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 63; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.retry_base_us = 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.retry_base_us = -50.0; }),
+               std::invalid_argument);
+  // Boundary values that must be accepted.
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 0; }));
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 62; }));
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.send_overhead_us = 0.0; }));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Knobs, UcxKnobMatrix,
     ::testing::Values(KnobParam{8192, 4096, 256 * 1024, true},     // defaults

@@ -6,8 +6,13 @@
 ///   gpucomm_sweep --metric latency  --stack ampi --place inter
 ///   gpucomm_sweep --metric bandwidth --stack charm4py --mode host --sizes 4096,65536
 ///   gpucomm_sweep --metric jacobi --stack charm --nodes 8 --grid 3072,3072,3072 --odf 4
+///   gpucomm_sweep --metric loss --stack charm --place inter --fault-seed 7
 ///
-/// Output is CSV on stdout (one row per size / per node count).
+/// Any metric accepts --drop P / --fault-seed N to run under deterministic
+/// uniform message loss; --metric loss sweeps the drop rate itself and
+/// reports how retransmission inflates latency.
+///
+/// Output is CSV on stdout (one row per size / per node count / per rate).
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,7 @@
 
 #include "apps/jacobi/jacobi.hpp"
 #include "apps/osu/osu.hpp"
+#include "sim/fault.hpp"
 
 using namespace cux;
 
@@ -35,13 +41,16 @@ struct Args {
   jacobi::Vec3 grid{1536, 1536, 1536};
   int odf = 1;
   bool gdrcopy = true;
+  double drop = 0.0;
+  std::uint64_t fault_seed = 0x5eed;
+  std::vector<double> drops{0.0, 0.01, 0.02, 0.05, 0.10};  // --metric loss sweep
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi   what to measure (default latency)\n"
+      "  --metric latency|bandwidth|jacobi|loss  what to measure (default latency)\n"
       "  --stack charm|ampi|ompi|charm4py    programming model (default charm)\n"
       "  --mode device|host                  GPU-aware (-D) or host-staging (-H)\n"
       "  --place intra|inter                 PE placement for micro-benchmarks\n"
@@ -50,7 +59,11 @@ struct Args {
       "  --iters N --warmup N --window N     benchmark repetition knobs\n"
       "  --grid X,Y,Z                        Jacobi global grid (default 1536^3)\n"
       "  --odf N                             Jacobi overdecomposition (charm only)\n"
-      "  --no-gdrcopy                        simulate GDRCopy not being detected\n",
+      "  --no-gdrcopy                        simulate GDRCopy not being detected\n"
+      "  --drop P                            uniform message-drop probability [0,1)\n"
+      "  --fault-seed N                      fault injector seed (default 0x5eed)\n"
+      "  --drops a,b,c                       drop rates in %% for --metric loss\n"
+      "                                      (default 0,1,2,5,10)\n",
       argv0);
   std::exit(2);
 }
@@ -108,6 +121,15 @@ Args parse(int argc, char** argv) {
       a.odf = std::atoi(need(i));
     } else if (opt == "--no-gdrcopy") {
       a.gdrcopy = false;
+    } else if (opt == "--drop") {
+      a.drop = std::atof(need(i));
+      if (a.drop < 0.0 || a.drop >= 1.0) usage(argv[0]);
+    } else if (opt == "--fault-seed") {
+      a.fault_seed = std::strtoull(need(i), nullptr, 0);
+    } else if (opt == "--drops") {
+      a.drops.clear();
+      for (std::size_t pct : parseSizes(need(i))) a.drops.push_back(static_cast<double>(pct) / 100.0);
+      if (a.drops.empty()) usage(argv[0]);
     } else if (opt == "--grid") {
       const auto v = parseSizes(need(i));
       if (v.size() != 3) usage(argv[0]);
@@ -131,6 +153,7 @@ int runMicro(const Args& a) {
   cfg.window = a.window;
   cfg.model = model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+  if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
   const bool lat = a.metric == "latency";
   const auto pts = lat ? osu::runLatency(cfg) : osu::runBandwidth(cfg);
   std::printf("size_bytes,%s\n", lat ? "one_way_latency_us" : "bandwidth_MBps");
@@ -150,6 +173,7 @@ int runJacobi(const Args& a) {
   cfg.overdecomposition = a.odf;
   cfg.model = model::summit(a.nodes);
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+  if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
   const auto r = jacobi::runJacobi(cfg);
   std::printf("nodes,grid,procs,overall_ms_per_iter,comm_ms_per_iter\n");
   std::printf("%d,%lldx%lldx%lld,%lldx%lldx%lld,%.3f,%.3f\n", a.nodes,
@@ -160,11 +184,37 @@ int runJacobi(const Args& a) {
   return 0;
 }
 
+/// Latency-vs-drop-rate sweep: the reliability layer's retransmission tax.
+/// A fixed seed per rate keeps every row reproducible; a hung run would
+/// report 0 latency, so completion itself is part of the measurement.
+int runLoss(const Args& a) {
+  osu::BenchConfig cfg;
+  cfg.stack = a.stack;
+  cfg.mode = a.mode;
+  cfg.place = a.place;
+  cfg.iters = a.iters;
+  cfg.warmup = a.warmup;
+  cfg.model = model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
+  cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+  const std::vector<std::size_t> sizes =
+      a.sizes.empty() ? std::vector<std::size_t>{4096, 65536, 1048576} : a.sizes;
+  std::printf("drop_percent,size_bytes,one_way_latency_us\n");
+  for (const double rate : a.drops) {
+    cfg.model.machine.fault = rate > 0.0 ? sim::FaultConfig::uniformLoss(rate, a.fault_seed)
+                                         : sim::FaultConfig{};
+    for (const std::size_t bytes : sizes) {
+      std::printf("%.1f,%zu,%.3f\n", rate * 100.0, bytes, osu::latencyPoint(cfg, bytes));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.metric == "latency" || a.metric == "bandwidth") return runMicro(a);
   if (a.metric == "jacobi") return runJacobi(a);
+  if (a.metric == "loss") return runLoss(a);
   usage(argv[0]);
 }
