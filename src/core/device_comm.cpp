@@ -19,10 +19,16 @@ void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_
   cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag,
                      [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)](
                          ucx::Request& r) {
-                       if (r.failed()) {
+                       if (r.failed() && !r.data_delivered) {
                          startFallback(src_pe, dst_pe, ptr, size, tag, cb, "retries-exhausted");
                          return;
                        }
+                       // r.failed() with data_delivered: the rendezvous data
+                       // landed and the receiver completed Done — only the
+                       // ATS was lost. The receive is consumed, so a resend
+                       // under this tag could never match: suppress the
+                       // fallback and complete normally.
+                       if (r.failed()) ++acks_lost_;
                        if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
                      });
 }
@@ -34,11 +40,21 @@ void DeviceComm::startFallback(int src_pe, int dst_pe, const void* ptr, std::uin
   hw::System& sys = cmi_.system();
   sys.trace.record(sys.engine.now(), sim::TraceCat::Fallback, src_pe, dst_pe, size, tag, why);
   // Graceful degradation: stage the device buffer to the host and resend as
-  // a plain host message under the SAME tag, so the already-posted receive
-  // still matches. on_complete fires either way — the transfer recovers,
-  // only the timing suffers.
+  // a plain host message under the SAME tag, so the posted (or re-posted)
+  // receive still matches — the transfer recovers, only the timing suffers.
   cmi_.ucx().tagSendHostStaged(
-      src_pe, dst_pe, ptr, size, tag, [this, src_pe, cb = std::move(on_complete)](ucx::Request&) {
+      src_pe, dst_pe, ptr, size, tag,
+      [this, src_pe, dst_pe, size, tag, cb = std::move(on_complete)](ucx::Request& r) {
+        if (r.failed() && !r.data_delivered) {
+          // Even the degraded route died with the data undelivered. Withhold
+          // on_complete — reporting a buffer as reusable/arrived when it
+          // never moved would be a silent corruption; the drop is traced and
+          // the engine drains instead of hanging in a retry loop.
+          hw::System& sys = cmi_.system();
+          sys.trace.record(sys.engine.now(), sim::TraceCat::Drop, src_pe, dst_pe, size, tag,
+                           "fallback-failed");
+          return;
+        }
         if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
       });
 }
@@ -116,17 +132,33 @@ void DeviceComm::lrtsRecvDevice(int pe_id, const DeviceRdmaOp& op, DeviceRecvTyp
                              op.size, op.tag, "");
   cmi::Pe& pe = cmi_.pe(pe_id);
   pe.charge(sim::usec(cmi_.costs().device_meta_recv_us));
-  // Receives post through inject() too: in SMP mode the comm thread owns the
+  postDeviceRecv(pe_id, op, std::move(on_complete));
+}
+
+void DeviceComm::postDeviceRecv(int pe_id, const DeviceRdmaOp& op,
+                                std::function<void()> on_complete) {
+  // Receives post through inject(): in SMP mode the comm thread owns the
   // UCX worker, so posting from the worker PE would race (in ordering terms)
   // with the sends the comm thread serialises.
   cmi_.inject(pe_id, [this, pe_id, op, cb = std::move(on_complete)] {
-    cmi_.ucx().worker(pe_id).tagRecv(op.dst, op.size, op.tag, ucx::kFullMask,
-                                     [this, pe_id, cb](ucx::Request&) {
-                                       if (cb) {
-                                         cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us),
-                                                             cb);
-                                       }
-                                     });
+    cmi_.ucx().worker(pe_id).tagRecv(
+        op.dst, op.size, op.tag, ucx::kFullMask, [this, pe_id, op, cb](ucx::Request& r) {
+          if (r.failed()) {
+            // A matched rendezvous exhausted its retry budget: the buffer was
+            // never written, and the sender is degrading to the host-staged
+            // route under the same tag. Re-post so the fallback can match —
+            // completing here would report data that never arrived, and the
+            // fallback message would rot in the unexpected queue. Each
+            // re-post consumes one terminal failure, so this cannot spin.
+            ++recv_reposts_;
+            hw::System& sys = cmi_.system();
+            sys.trace.record(sys.engine.now(), sim::TraceCat::Retry, pe_id, r.peer_pe, op.size,
+                             op.tag, "recv-repost");
+            postDeviceRecv(pe_id, op, cb);
+            return;
+          }
+          if (cb) cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
+        });
   });
 }
 

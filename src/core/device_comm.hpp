@@ -54,15 +54,22 @@ class DeviceComm {
   ///
   /// Reliability: when the fault injector is enabled and the GPU-aware send
   /// exhausts its retries (or the link is down at issue time), the transfer
-  /// degrades to the host-staged route under the same tag — the posted
-  /// receive still matches, the data still arrives, and `on_complete` still
-  /// fires; only the timing suffers (see fallbacks()).
+  /// degrades to the host-staged route under the same tag; only the timing
+  /// suffers (see fallbacks()). A receive consumed by the failed rendezvous
+  /// is re-posted so the fallback still matches (see recvReposts()), and a
+  /// send whose data arrived but whose ATS was lost completes without a
+  /// spurious resend (see acksLost()). Should the fallback itself fail
+  /// terminally, `on_complete` is withheld rather than reporting data that
+  /// never arrived.
   void lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
                       std::function<void()> on_complete = {},
                       DeviceRecvType type = DeviceRecvType::Raw);
 
   /// LrtsRecvDevice: posts the receive for an incoming GPU/zero-copy buffer.
-  /// `on_complete` fires on `pe` when the data has fully arrived.
+  /// `on_complete` fires on `pe` only when the data has actually arrived: if
+  /// a matched rendezvous fails terminally (sender falls back to the
+  /// host-staged route), the receive is re-posted under the same tag until
+  /// the fallback delivers.
   void lrtsRecvDevice(int pe, const DeviceRdmaOp& op, DeviceRecvType type,
                       std::function<void()> on_complete);
 
@@ -104,19 +111,33 @@ class DeviceComm {
   /// Device sends that degraded to the host-staged route (retries exhausted
   /// or link down); 0 unless the fault injector is enabled.
   [[nodiscard]] std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+  /// Receives consumed by a terminally-failed rendezvous and re-posted under
+  /// the same tag so the sender's host-staged fallback can match.
+  [[nodiscard]] std::uint64_t recvReposts() const noexcept { return recv_reposts_; }
+  /// Sends that completed with ReqState::Error although the data had arrived
+  /// (rendezvous ATS lost): the fallback is suppressed — resending under the
+  /// same tag could never match the already-consumed receive.
+  [[nodiscard]] std::uint64_t acksLost() const noexcept { return acks_lost_; }
 
  private:
   /// Issues the UCX send, routing through the host-staged fallback when the
-  /// link is down at issue time or when the GPU-aware send fails terminally.
+  /// link is down at issue time or when the GPU-aware send fails terminally
+  /// with the data undelivered.
   void issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_t size, std::uint64_t tag,
                  std::function<void()> on_complete);
   void startFallback(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
                      std::uint64_t tag, std::function<void()> on_complete, const char* why);
+  /// Posts the machine-layer receive; on terminal rendezvous failure the
+  /// receive is re-posted (same tag) instead of completing, so the sender's
+  /// host-staged fallback still finds a match.
+  void postDeviceRecv(int pe, const DeviceRdmaOp& op, std::function<void()> on_complete);
 
   cmi::Converse& cmi_;
   std::vector<std::uint64_t> counters_;  // per-PE tag counters
   std::uint64_t device_sends_ = 0;
   std::uint64_t fallbacks_ = 0;
+  std::uint64_t recv_reposts_ = 0;
+  std::uint64_t acks_lost_ = 0;
   std::uint64_t sends_by_type_[4] = {0, 0, 0, 0};
   std::uint64_t recvs_by_type_[4] = {0, 0, 0, 0};
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -84,6 +85,12 @@ struct UcxConfig {
     if (max_retries < 0) fail("max_retries must be non-negative");
     if (max_retries > 62) fail("max_retries overflows the exponential backoff");
     if (retry_base_us <= 0) fail("retry_base_us must be positive");
+    // The last retry deadline is retry_base_us * 2^max_retries; bounding the
+    // shift alone is not enough — the multiplication by the (nanosecond)
+    // base wraps uint64 first, which would yield a bogus tiny deadline.
+    if (std::ldexp(retry_base_us * 1e3, max_retries) >= 9.2e18) {
+      fail("retry_base_us * 2^max_retries overflows the 64-bit ns clock");
+    }
   }
 };
 

@@ -113,13 +113,17 @@ class Context {
 
   /// Attempt k is declared lost (and retransmitted) this long after it was
   /// sent: retry_base_us * 2^k, the classic exponential backoff.
+  /// UcxConfig::validate() rejects configurations whose last deadline would
+  /// wrap the 64-bit nanosecond clock, and the shift is saturated here as
+  /// well so an overflow can never produce a bogus (tiny) deadline.
   [[nodiscard]] sim::Duration retryDelay(int attempt) const noexcept {
-    return sim::usec(cfg_.retry_base_us) * (sim::Duration{1} << attempt);
+    const sim::Duration base = sim::usec(cfg_.retry_base_us);
+    if (base == 0) return 0;
+    if (attempt >= 63 || base > (~sim::Duration{0} >> attempt)) {
+      return sim::Duration{1} << 62;  // saturated: ~146 years of virtual time
+    }
+    return base << attempt;
   }
-
-  /// Monotonically increasing wire sequence number (per Context); 0 is
-  /// reserved for "unreliable, no dedup".
-  [[nodiscard]] std::uint64_t nextSeq() noexcept { return ++next_seq_; }
 
   /// In-flight state of one reliable wire message: the Incoming template
   /// cloned for each (re)transmission attempt, plus delivery tracking.
@@ -142,7 +146,6 @@ class Context {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t sends_started_ = 0;
   std::uint64_t bytes_sent_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t send_errors_ = 0;
 };

@@ -23,6 +23,13 @@ struct Request {
   Tag matched_tag = 0;        ///< actual tag of the matched message (recv side)
   std::uint64_t bytes = 0;    ///< payload size transferred
   int peer_pe = -1;           ///< source PE (recv side) / destination PE (send side)
+  /// Send side: the receiver observed the data, even if `state` is Error.
+  /// Distinguishes "data never delivered" (retries exhausted in flight —
+  /// resending can recover) from "delivered but the ack was lost" (a
+  /// rendezvous whose ATS exhausted its retries: the receiver completed Done
+  /// and consumed the receive, so a resend under the same tag could never
+  /// match again).
+  bool data_delivered = false;
 
   [[nodiscard]] bool done() const noexcept { return state == ReqState::Done; }
   [[nodiscard]] bool cancelled() const noexcept { return state == ReqState::Cancelled; }

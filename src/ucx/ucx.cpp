@@ -31,9 +31,10 @@ Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
 // Reliability layer (active only while the fault injector is enabled)
 // ---------------------------------------------------------------------------
 
-/// In-flight state of one reliable wire message. `proto` is the template
-/// Incoming cloned for every (re)transmission attempt — duplicates carry the
-/// same sequence number, so the receiver-side filter suppresses the extras.
+/// In-flight state of one reliable wire message. Every (re)transmission
+/// attempt shares this state, so duplicate suppression is exact and O(1):
+/// the first arriving copy flips `delivered` and takes `proto`; later copies
+/// see the flag and are dropped before they touch the matching engine.
 struct Context::WireState {
   Worker::Incoming proto;
   int src_pe = -1;
@@ -61,19 +62,25 @@ void Context::reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt
                   : sys_.machine.transfer(path, now, ws->proto.len + cfg_.header_bytes)) +
         dec.delay;
     engine.schedule(arrival, [this, ws] {
-      // Clone the template: a late original and a retransmit may both arrive,
-      // and the receiver's sequence filter keeps exactly one.
-      Worker::Incoming copy = ws->proto;
-      if (!ws->delivered) {
-        ws->delivered = true;
-        // Sender completion models the transport-level ack: Done at first
-        // delivery (rendezvous RTS senders instead complete via ATS).
-        if (!ws->ctrl && ws->req && ws->req->state == ReqState::Pending) {
+      if (ws->delivered) {
+        // A retransmit raced the delivered copy: suppress it here, at the
+        // shared in-flight state, so a duplicate can never double-deliver or
+        // grow the unexpected queue. (proto's scalars stay valid after the
+        // move below — only the payload storage was taken.)
+        worker(ws->dst_pe).noteDuplicateSuppressed(ws->src_pe, ws->proto.len, ws->proto.tag);
+        return;
+      }
+      ws->delivered = true;
+      // Sender completion models the transport-level ack: Done at first
+      // delivery (rendezvous RTS senders instead complete via ATS).
+      if (!ws->ctrl && ws->req) {
+        ws->req->data_delivered = true;
+        if (ws->req->state == ReqState::Pending) {
           ws->req->state = ReqState::Done;
           if (ws->cb) ws->cb(*ws->req);
         }
       }
-      worker(ws->dst_pe).onArrival(std::move(copy));
+      worker(ws->dst_pe).onArrival(std::move(ws->proto));
     });
   }
   // Retry deadline: attempt k is declared lost retry_base_us * 2^k after it
@@ -198,7 +205,6 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
       msg.tag = tag;
       msg.src_pe = src_pe;
       msg.len = len;
-      msg.seq = nextSeq();
       msg.payload = std::move(payload);
       auto ws = std::make_shared<WireState>();
       ws->proto = std::move(msg);
@@ -247,7 +253,6 @@ RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byt
     // The RTS is a control message: retransmitted until one copy is
     // delivered; sender completion then comes via the ATS (rndvTransfer), or
     // via Error here if every RTS attempt is lost.
-    msg.seq = nextSeq();
     auto ws = std::make_shared<WireState>();
     ws->proto = std::move(msg);
     ws->src_pe = src_pe;
@@ -288,7 +293,6 @@ void Context::sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t l
     // Sender completion models the transport ack: Done on first delivered
     // attempt (never locally at t0, which would hide a lost message), Error
     // after the retry budget.
-    msg.seq = nextSeq();
     auto ws = std::make_shared<WireState>();
     ws->proto = std::move(msg);
     ws->src_pe = src_pe;
@@ -329,7 +333,6 @@ void Context::sendRndv(int src_pe, int dst_pe, const void* buf, std::uint64_t le
   msg.send_cb = cb;
 
   if (reliable()) {
-    msg.seq = nextSeq();
     auto ws = std::make_shared<WireState>();
     ws->proto = std::move(msg);
     ws->src_pe = src_pe;
@@ -523,6 +526,11 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
   }
   engine.schedule(ats_arrival, [send_req, send_cb, ats_ok] {
     if (send_req && send_req->state == ReqState::Pending) {
+      // The data leg finished before the ATS was even attempted, so the
+      // receiver has the payload either way; an Error here means only the
+      // ack was lost. Callers must not resend: the matched receive is
+      // consumed, and a resend under the same tag could never match.
+      send_req->data_delivered = true;
       send_req->state = ats_ok ? ReqState::Done : ReqState::Error;
       if (send_cb) send_cb(*send_req);
     }
@@ -590,17 +598,17 @@ bool Worker::cancelRecv(const RequestPtr& req) {
   return false;
 }
 
-void Worker::onArrival(Incoming msg) {
+void Worker::noteDuplicateSuppressed(int src_pe, std::uint64_t len, Tag tag) {
   // Reliable-mode duplicate suppression: a retransmit racing a late
-  // (jitter-delayed) original must not double-deliver. seq 0 means the
-  // fault injector is off — no filter state is touched at all.
-  if (msg.seq != 0 && !seen_seqs_.insert(msg.seq).second) {
-    ++dups_suppressed_;
-    hw::System& sys = ctx_.system();
-    sys.trace.record(sys.engine.now(), sim::TraceCat::Drop, pe_, msg.src_pe, msg.len, msg.tag,
-                     "duplicate");
-    return;
-  }
+  // (jitter-delayed) original must not double-deliver. The decision is made
+  // in Context::reliableTransmit off the shared WireState; this is the
+  // receiver-side accounting for it.
+  ++dups_suppressed_;
+  hw::System& sys = ctx_.system();
+  sys.trace.record(sys.engine.now(), sim::TraceCat::Drop, pe_, src_pe, len, tag, "duplicate");
+}
+
+void Worker::onArrival(Incoming msg) {
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (tagsMatch(msg.tag, it->tag, it->mask)) {
       PostedRecv r = std::move(*it);

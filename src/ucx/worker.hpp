@@ -6,7 +6,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "ucx/request.hpp"
@@ -91,7 +90,7 @@ class Worker {
   /// Largest size the unexpected queue ever reached; retransmission storms
   /// inflate it, and the fault-injection tests assert it stays bounded.
   [[nodiscard]] std::size_t unexpectedHighWatermark() const noexcept { return unexpected_hwm_; }
-  /// Duplicate deliveries suppressed by the wire sequence-number filter
+  /// Duplicate deliveries suppressed by the reliability layer
   /// (a retransmit racing a jitter-delayed original).
   [[nodiscard]] std::uint64_t duplicatesSuppressed() const noexcept { return dups_suppressed_; }
 
@@ -111,15 +110,17 @@ class Worker {
   /// two shapes is populated: eager (payload travelled with the header) or
   /// rendezvous (payload still lives at src_ptr on the sender).
   ///
-  /// Field order packs the struct to 128 bytes so an arrival capture
+  /// Field order packs the struct to 120 bytes so an arrival capture
   /// (worker pointer + Incoming) fits sim::SmallFn's inline buffer; audit
   /// sizes before adding fields (see docs/architecture.md).
+  ///
+  /// Reliable-mode duplicate suppression does not live here: retransmits of
+  /// one wire message share their Context::WireState, and only the first
+  /// arrival is delivered (see Context::reliableTransmit) — O(1) state per
+  /// in-flight message instead of a per-worker ever-growing seen-set.
   struct Incoming {
     Tag tag = 0;
     std::uint64_t len = 0;
-    /// Reliable-mode wire sequence number; 0 when the fault injector is off.
-    /// Nonzero duplicates (retransmits) are suppressed at arrival.
-    std::uint64_t seq = 0;
     const void* src_ptr = nullptr;   ///< rendezvous: payload still at the sender
     std::vector<std::byte> payload;  ///< eager: payload travelled with the header
     RequestPtr send_req;             ///< rendezvous: sender-side request
@@ -136,6 +137,9 @@ class Worker {
   };
 
   void onArrival(Incoming msg);
+  /// Accounting for a retransmit copy suppressed before delivery (the
+  /// original already arrived); called by Context::reliableTransmit.
+  void noteDuplicateSuppressed(int src_pe, std::uint64_t len, Tag tag);
   void matchAgainstUnexpected(PostedRecv& r);
   void completeRecvFromEager(PostedRecv r, Incoming msg);
   void startRndvTransfer(PostedRecv r, Incoming msg);
@@ -158,7 +162,6 @@ class Worker {
   std::deque<Incoming> unexpected_;
   std::deque<Handler> handlers_;  // deque: handler addresses stay stable
   std::deque<BufferedHandler> buffered_handlers_;
-  std::unordered_set<std::uint64_t> seen_seqs_;  ///< reliable-mode dedup filter
   std::size_t unexpected_hwm_ = 0;
   std::uint64_t dups_suppressed_ = 0;
 };

@@ -376,6 +376,77 @@ TEST(FaultFallback, LinkDownAtIssueTimeSkipsStraightToFallback) {
   EXPECT_EQ(f.dev->recvsByType(core::DeviceRecvType::Ampi), 1u);
 }
 
+TEST(FaultFallback, MatchedRndvExhaustionRepostsReceiveAndRecovers) {
+  // Kill only the rendezvous *data* leg: the RTS is delivered, the posted
+  // receive matches, then the transfer fails terminally on both sides. The
+  // receiver must NOT report completion (its buffer was never written) —
+  // it re-posts under the same tag so the sender's host-staged fallback
+  // still finds a match, and on_complete fires only when the data has
+  // actually arrived.
+  sim::FaultConfig fc;
+  fc.enabled = true;
+  fc.policy[static_cast<std::size_t>(sim::MsgClass::RndvData)].drop_prob = 1.0;
+  FaultFixture f(fc, 2, /*max_retries=*/1, /*retry_base_us=*/5.0);
+  cuda::DeviceBuffer src(*f.sys, 0, 8192, true), dst(*f.sys, 6, 8192, true);
+  const auto ref = pattern(8192, 12);
+  std::memcpy(src.get(), ref.data(), ref.size());
+
+  core::CmiDeviceBuffer buf{src.get(), 8192, 0};
+  int sent = 0, recvd = 0;
+  f.cmi->runOn(0, [&] {
+    f.dev->lrtsSendDevice(0, 6, buf, [&] { ++sent; }, core::DeviceRecvType::Charm);
+    f.cmi->runOn(6, [&] {
+      f.dev->lrtsRecvDevice(6, core::DeviceRdmaOp{dst.get(), 8192, buf.tag},
+                            core::DeviceRecvType::Charm, [&] { ++recvd; });
+    });
+  });
+  f.sys->engine.run();
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(recvd, 1);
+  EXPECT_EQ(f.dev->fallbacks(), 1u);
+  EXPECT_EQ(f.dev->recvReposts(), 1u);
+  EXPECT_EQ(f.dev->acksLost(), 0u);
+  // The recovered data is intact, and the fallback message did not rot in
+  // the unexpected queue (it matched the re-posted receive).
+  EXPECT_EQ(std::memcmp(dst.get(), ref.data(), ref.size()), 0);
+  EXPECT_EQ(f.ctx->worker(6).unexpectedCount(), 0u);
+}
+
+TEST(FaultFallback, AtsLossCompletesSendWithoutSpuriousResend) {
+  // Intra-node device rendezvous with the receiver->sender direction dead:
+  // the data leg (direct NVLink pull) succeeds and the receiver completes
+  // Done, but every ATS attempt is lost — the sender sees ReqState::Error
+  // with data_delivered set. The receive is already consumed, so a fallback
+  // resend could never match again: DeviceComm must suppress it (no leaked
+  // unexpected-queue entry, no double-charged bandwidth) and complete.
+  sim::FaultConfig fc;
+  fc.enabled = true;
+  fc.down_windows.push_back(sim::LinkDownWindow{0, sim::sec(1.0), 1, 0});
+  FaultFixture f(fc, 2, /*max_retries=*/2, /*retry_base_us=*/5.0);
+  cuda::DeviceBuffer src(*f.sys, 0, 8192, true), dst(*f.sys, 1, 8192, true);
+  const auto ref = pattern(8192, 13);
+  std::memcpy(src.get(), ref.data(), ref.size());
+
+  core::CmiDeviceBuffer buf{src.get(), 8192, 0};
+  int sent = 0, recvd = 0;
+  f.cmi->runOn(0, [&] {
+    f.dev->lrtsSendDevice(0, 1, buf, [&] { ++sent; }, core::DeviceRecvType::Charm);
+    f.cmi->runOn(1, [&] {
+      f.dev->lrtsRecvDevice(1, core::DeviceRdmaOp{dst.get(), 8192, buf.tag},
+                            core::DeviceRecvType::Charm, [&] { ++recvd; });
+    });
+  });
+  f.sys->engine.run();
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(recvd, 1);
+  EXPECT_EQ(std::memcmp(dst.get(), ref.data(), ref.size()), 0);
+  EXPECT_EQ(f.dev->acksLost(), 1u);
+  EXPECT_EQ(f.dev->fallbacks(), 0u);
+  EXPECT_EQ(f.dev->recvReposts(), 0u);
+  EXPECT_GE(f.ctx->sendErrors(), 1u);
+  EXPECT_EQ(f.ctx->worker(1).unexpectedCount(), 0u);
+}
+
 TEST(FaultFallback, UserTagPrePostedPathSurvivesLoss) {
   // The user-tag improvement pre-posts the receive before any metadata
   // exchange; under 10% uniform loss the transfer must still complete and

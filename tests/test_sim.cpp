@@ -225,7 +225,7 @@ TEST(SmallFn, MoveTransfersOwnershipAndDestroys) {
 
 TEST(SmallFn, HotUcxCaptureShapesStayInline) {
   // The completion-continuation shape (shared_ptr + std::function) and the
-  // arrival shape (pointer + 128-byte message) must not allocate; this is
+  // arrival shape (pointer + 120-byte message) must not allocate; this is
   // the engine hot path. If this fires after growing Worker::Incoming,
   // either shrink it or bump SmallFn::kInlineCapacity.
   struct Completion {
@@ -235,7 +235,7 @@ TEST(SmallFn, HotUcxCaptureShapesStayInline) {
   static_assert(sim::SmallFn::fitsInline<Completion>());
   struct Arrival {
     void* worker;
-    std::uint64_t scalars[4];  // tag, len, reliability seq, src_ptr
+    std::uint64_t scalars[3];  // tag, len, src_ptr
     std::vector<std::byte> payload;
     std::shared_ptr<int> req;
     std::function<void(int&)> cb;

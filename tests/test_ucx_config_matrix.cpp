@@ -125,9 +125,23 @@ TEST(UcxConfigValidate, RejectsDegenerateConfigurations) {
                std::invalid_argument);
   EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.retry_base_us = -50.0; }),
                std::invalid_argument);
+  // The backoff product must be rejected too, not just the shift bound: the
+  // default 50 us base (50,000 ns) wraps uint64 from attempt 48 onwards,
+  // which would produce a bogus tiny retry deadline, not UB.
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 48; }),
+               std::invalid_argument);
+  EXPECT_THROW(construct([](ucx::UcxConfig& c) {
+                 c.max_retries = 40;
+                 c.retry_base_us = 1e7;  // 10 s base: overflows well before 62
+               }),
+               std::invalid_argument);
   // Boundary values that must be accepted.
   EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 0; }));
-  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 62; }));
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.max_retries = 47; }));
+  EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) {
+    c.max_retries = 62;       // the shift bound itself is fine...
+    c.retry_base_us = 0.001;  // ...with a base small enough not to wrap
+  }));
   EXPECT_NO_THROW(construct([](ucx::UcxConfig& c) { c.send_overhead_us = 0.0; }));
 }
 
