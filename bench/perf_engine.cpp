@@ -193,37 +193,171 @@ void BM_MemoryClassification(benchmark::State& state) {
 }
 BENCHMARK(BM_MemoryClassification);
 
-void BM_UcxTagMatching(benchmark::State& state) {
-  // Posts N receives, delivers N matching messages; measures matcher cost.
+// The matcher benches run both engines (BENCH_ucx_matching.json): `bucketed`
+// is the production matcher with the pooled message path, `linear` the
+// retained reference matcher (pools still on, isolating matcher cost), and
+// `linear_nopool` the seed-equivalent configuration — linear scans plus a
+// fresh heap allocation per request/payload — i.e. the "before" numbers on
+// the same fixed harness. Setup (System/Context construction) is hoisted out
+// of the timing loop; every iteration fully drains the queues, so one
+// Context serves all iterations. Each send is drained through the engine
+// immediately (steady-state matching at depth N), so the event heap stays
+// shallow and the measurement isolates the matcher instead of the engine's
+// O(log pending) heap under an 8k-event burst.
+
+/// Posted-queue depth: posts N exact receives, then delivers N matching
+/// messages in reverse tag order (each arrival's match sits at the tail of a
+/// post-ordered scan — the linear matcher's worst case, the bucketed
+/// matcher's common case).
+void BM_UcxTagMatching(benchmark::State& state, ucx::MatcherImpl impl, bool pooling) {
   const int n = static_cast<int>(state.range(0));
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::UcxConfig cfg = m.ucx;
+  cfg.matcher = impl;
+  cfg.pooling = pooling;
+  ucx::Context ctx(sys, cfg);
+  std::vector<std::byte> buf(64);
+  std::vector<std::byte> src(64);
   for (auto _ : state) {
-    model::Model m = model::summit(1);
-    hw::System sys(m.machine);
-    ucx::Context ctx(sys, m.ucx);
-    std::vector<std::byte> buf(64);
     for (int i = 0; i < n; ++i) {
       ctx.worker(1).tagRecv(buf.data(), 64, static_cast<ucx::Tag>(i), ucx::kFullMask, {});
     }
-    std::vector<std::byte> src(64);
-    for (int i = n - 1; i >= 0; --i) {  // worst case: match at the queue tail
+    for (int i = n - 1; i >= 0; --i) {
       ctx.tagSend(0, 1, src.data(), 64, static_cast<ucx::Tag>(i), {});
+      sys.engine.run();
     }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_UcxTagMatching, bucketed, ucx::MatcherImpl::Bucketed, true)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_UcxTagMatching, linear, ucx::MatcherImpl::Linear, true)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_UcxTagMatching, linear_nopool, ucx::MatcherImpl::Linear, false)
+    ->Arg(4096)
+    ->Arg(16384);
+
+/// Unexpected-queue-heavy: all N messages arrive before any receive is
+/// posted, so every tagRecv scans/probes the unexpected queue. Receives are
+/// posted in reverse arrival order (linear worst case).
+void BM_UcxTagMatchingUnexpected(benchmark::State& state, ucx::MatcherImpl impl, bool pooling) {
+  const int n = static_cast<int>(state.range(0));
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::UcxConfig cfg = m.ucx;
+  cfg.matcher = impl;
+  cfg.pooling = pooling;
+  ucx::Context ctx(sys, cfg);
+  std::vector<std::byte> buf(64);
+  std::vector<std::byte> src(64);
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      ctx.tagSend(0, 1, src.data(), 64, static_cast<ucx::Tag>(i), {});
+      sys.engine.run();  // message lands in the unexpected queue
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      ctx.worker(1).tagRecv(buf.data(), 64, static_cast<ucx::Tag>(i), ucx::kFullMask, {});
+      sys.engine.run();  // drain the matched completion
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_UcxTagMatchingUnexpected, bucketed, ucx::MatcherImpl::Bucketed, true)
+    ->Arg(512)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxTagMatchingUnexpected, linear, ucx::MatcherImpl::Linear, true)
+    ->Arg(512)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxTagMatchingUnexpected, linear_nopool, ucx::MatcherImpl::Linear, false)
+    ->Arg(4096);
+
+/// Wildcard mix: 7 of 8 receives are exact, 1 of 8 uses a masked wildcard
+/// (low tag bits) that only its own tag class can match. Exercises the
+/// exact-vs-wildcard sequence arbitration on every arrival.
+void BM_UcxTagMatchingWildcardMix(benchmark::State& state, ucx::MatcherImpl impl, bool pooling) {
+  const int n = static_cast<int>(state.range(0));
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::UcxConfig cfg = m.ucx;
+  cfg.matcher = impl;
+  cfg.pooling = pooling;
+  ucx::Context ctx(sys, cfg);
+  std::vector<std::byte> buf(64);
+  std::vector<std::byte> src(64);
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      // Wildcard (mask 0x7) matches exactly the tags congruent to 0 mod 8,
+      // so every receive consumes one message and the queues drain fully.
+      const ucx::Tag mask = (i % 8 == 0) ? ucx::Tag{0x7} : ucx::kFullMask;
+      ctx.worker(1).tagRecv(buf.data(), 64, static_cast<ucx::Tag>(i), mask, {});
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      ctx.tagSend(0, 1, src.data(), 64, static_cast<ucx::Tag>(i), {});
+      sys.engine.run();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_CAPTURE(BM_UcxTagMatchingWildcardMix, bucketed, ucx::MatcherImpl::Bucketed, true)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxTagMatchingWildcardMix, linear, ucx::MatcherImpl::Linear, true)->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxTagMatchingWildcardMix, linear_nopool, ucx::MatcherImpl::Linear, false)
+    ->Arg(4096);
+
+/// Cancellation at depth: posts N receives and cancels them all. The
+/// bucketed matcher unlinks each in O(1) through the request back-pointer;
+/// the linear matcher pays an O(posted) scan per cancel.
+void BM_UcxCancelRecv(benchmark::State& state, ucx::MatcherImpl impl, bool pooling) {
+  const int n = static_cast<int>(state.range(0));
+  model::Model m = model::summit(1);
+  hw::System sys(m.machine);
+  ucx::UcxConfig cfg = m.ucx;
+  cfg.matcher = impl;
+  cfg.pooling = pooling;
+  ucx::Context ctx(sys, cfg);
+  std::vector<std::byte> buf(64);
+  std::vector<ucx::RequestPtr> reqs;
+  reqs.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(
+          ctx.worker(1).tagRecv(buf.data(), 64, static_cast<ucx::Tag>(i), ucx::kFullMask, {}));
+    }
+    // Cancel in reverse post order: each target sits at the tail of the
+    // remaining posted list, so the linear matcher pays its full O(posted)
+    // scan per cancel while the bucketed matcher unlinks via the slot
+    // back-pointer without scanning.
+    for (auto it = reqs.rbegin(); it != reqs.rend(); ++it) ctx.worker(1).cancelRecv(*it);
+    reqs.clear();
     sys.engine.run();
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_UcxTagMatching)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_UcxCancelRecv, bucketed, ucx::MatcherImpl::Bucketed, true)->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxCancelRecv, linear, ucx::MatcherImpl::Linear, true)->Arg(4096);
+BENCHMARK_CAPTURE(BM_UcxCancelRecv, linear_nopool, ucx::MatcherImpl::Linear, false)->Arg(4096);
 
-void BM_SimulatedMessagesPerSecond(benchmark::State& state) {
+void BM_SimulatedMessagesPerSecond(benchmark::State& state, ucx::MatcherImpl impl, bool pooling) {
   // End-to-end: how many simulated eager messages the whole stack retires
-  // per wall-clock second.
+  // per wall-clock second. Setup is hoisted so the per-message cost (matcher
+  // + pools + engine) is what's measured.
+  model::Model m = model::summit(2);
+  hw::System sys(m.machine);
+  ucx::UcxConfig cfg = m.ucx;
+  cfg.matcher = impl;
+  cfg.pooling = pooling;
+  ucx::Context ctx(sys, cfg);
+  std::vector<std::byte> src(256), dst(256);
+  constexpr int kMsgs = 1000;
+  int done = 0;
   for (auto _ : state) {
-    model::Model m = model::summit(2);
-    hw::System sys(m.machine);
-    ucx::Context ctx(sys, m.ucx);
-    std::vector<std::byte> src(256), dst(256);
-    constexpr int kMsgs = 1000;
-    int done = 0;
     for (int i = 0; i < kMsgs; ++i) {
       ctx.worker(6).tagRecv(dst.data(), 256, static_cast<ucx::Tag>(i), ucx::kFullMask,
                             [&done](ucx::Request&) { ++done; });
@@ -231,10 +365,12 @@ void BM_SimulatedMessagesPerSecond(benchmark::State& state) {
     }
     sys.engine.run();
     benchmark::DoNotOptimize(done);
-    state.SetItemsProcessed(kMsgs);
   }
+  state.SetItemsProcessed(state.iterations() * kMsgs);
 }
-BENCHMARK(BM_SimulatedMessagesPerSecond);
+BENCHMARK_CAPTURE(BM_SimulatedMessagesPerSecond, bucketed, ucx::MatcherImpl::Bucketed, true);
+BENCHMARK_CAPTURE(BM_SimulatedMessagesPerSecond, linear, ucx::MatcherImpl::Linear, true);
+BENCHMARK_CAPTURE(BM_SimulatedMessagesPerSecond, linear_nopool, ucx::MatcherImpl::Linear, false);
 
 }  // namespace
 

@@ -11,6 +11,18 @@ namespace cux::ampi {
 namespace {
 /// Internal tag space for collectives; user tags must stay below this.
 constexpr int kInternalTagBase = 1 << 30;
+
+/// Bucket key of a fully-concrete (comm, src, tag) matching triple. The
+/// fields are folded, not perfectly packed — BucketFifo hashes the key and
+/// predicates re-check the exact triple, so a fold collision only costs a
+/// chain step, never a wrong match.
+[[nodiscard]] constexpr std::uint64_t matchKey(int src, int tag, int comm) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 48) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 24) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+constexpr std::uint32_t kNil = cux::sim::BucketFifo<int>::kNil;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -275,8 +287,10 @@ Request World::isendImpl(int src_rank, const void* buf, std::uint64_t bytes, int
                                                 static_cast<std::int32_t>(comm), bytes, cdb.tag,
                                                 seq);
   } else {
-    // Eager path: payload packed into the AMPI message.
-    std::vector<std::byte> data(bytes);
+    // Eager path: payload packed into the AMPI message. The buffer comes
+    // from (and returns to) the UCX context's eager pool, so the steady
+    // state allocates nothing per message.
+    std::vector<std::byte> data = rt_.cmi().ucx().takeBuffer(bytes);
     const bool valid = rt_.system().memory.dereferenceable(buf);
     if (valid && bytes > 0) std::memcpy(data.data(), buf, bytes);
     dst_st.chare.sendFrom<&RankChare::recvInline>(st.pe, static_cast<std::uint32_t>(src_rank),
@@ -299,20 +313,32 @@ Request World::irecvImpl(int dst_rank, void* buf, std::uint64_t bytes, int src, 
   pe.charge(sim::usec(costs.ampi_call_us + costs.ampi_match_us));
 
   Request req;
-  PostedRecv p{req, buf, bytes, src, tag, comm};
+  PostedRecv p{req.impl_, buf, bytes, src, tag, comm};
 
-  // Search the unexpected queue in arrival order (paper Sec. III-C2).
-  for (auto it = st.unexpected.begin(); it != st.unexpected.end(); ++it) {
-    const bool src_ok = (src == kAnySource) || (src == it->src_rank);
-    const bool tag_ok = (tag == kAnyTag) || (tag == it->tag);
-    if (src_ok && tag_ok && comm == it->comm) {
-      Envelope env = std::move(*it);
-      st.unexpected.erase(it);
-      deliver(dst_rank, p, env);
-      return req;
-    }
+  // Search the unexpected queue in arrival order (paper Sec. III-C2): a
+  // fully-concrete receive probes its (comm, src, tag) hash chain, a
+  // wildcard receive walks the store's arrival-order list.
+  const bool exact = src != kAnySource && tag != kAnyTag;
+  const std::uint32_t hit =
+      exact ? st.unexpected.findChain(matchKey(src, tag, comm),
+                                      [src, tag, comm](const Envelope& e) {
+                                        return e.src_rank == src && e.tag == tag && e.comm == comm;
+                                      })
+            : st.unexpected.findOrdered([src, tag, comm](const Envelope& e) {
+                return (src == kAnySource || src == e.src_rank) &&
+                       (tag == kAnyTag || tag == e.tag) && comm == e.comm;
+              });
+  if (hit != kNil) {
+    Envelope env = st.unexpected.take(hit);
+    deliver(dst_rank, p, env);
+    return req;
   }
-  st.posted.push_back(std::move(p));
+  const std::uint64_t seq = st.match_seq++;
+  if (exact) {
+    st.posted_exact.push(matchKey(src, tag, comm), seq, std::move(p));
+  } else {
+    st.posted_wild.push(0, seq, std::move(p));
+  }
   return req;
 }
 
@@ -349,17 +375,27 @@ void World::enqueueEnvelope(int dst_rank, Envelope env) {
 
 void World::processEnvelope(int dst_rank, Envelope env) {
   RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
-  for (auto it = st.posted.begin(); it != st.posted.end(); ++it) {
-    const bool src_ok = (it->src == kAnySource) || (it->src == env.src_rank);
-    const bool tag_ok = (it->tag == kAnyTag) || (it->tag == env.tag);
-    if (src_ok && tag_ok && it->comm == env.comm) {
-      PostedRecv p = std::move(*it);
-      st.posted.erase(it);
-      deliver(dst_rank, p, env);
-      return;
-    }
+  // Earliest fully-concrete candidate: FIFO chain of the envelope's triple.
+  const std::uint32_t ex = st.posted_exact.findChain(
+      matchKey(env.src_rank, env.tag, env.comm), [&env](const PostedRecv& p) {
+        return p.src == env.src_rank && p.tag == env.tag && p.comm == env.comm;
+      });
+  // Earliest wildcard candidate, in post order.
+  const std::uint32_t wi = st.posted_wild.findOrdered([&env](const PostedRecv& p) {
+    return (p.src == kAnySource || p.src == env.src_rank) &&
+           (p.tag == kAnyTag || p.tag == env.tag) && p.comm == env.comm;
+  });
+  if (ex != kNil || wi != kNil) {
+    // Post-order arbitration between the two stores, as in ucx::Worker.
+    const bool exact_wins =
+        ex != kNil && (wi == kNil || st.posted_exact.seqOf(ex) < st.posted_wild.seqOf(wi));
+    PostedRecv p =
+        exact_wins ? st.posted_exact.take(ex) : st.posted_wild.take(wi);
+    deliver(dst_rank, p, env);
+    return;
   }
-  st.unexpected.push_back(std::move(env));
+  const std::uint64_t key = matchKey(env.src_rank, env.tag, env.comm);
+  st.unexpected.push(key, st.match_seq++, std::move(env));
 }
 
 void World::deliver(int dst_rank, PostedRecv& p, Envelope& env) {
@@ -370,12 +406,15 @@ void World::deliver(int dst_rank, PostedRecv& p, Envelope& env) {
   // Status reports the communicator-local source rank.
   const Comm c = commOf(env.comm);
   const Status status{c.valid() ? c.rankOf(env.src_rank) : env.src_rank, env.tag, env.bytes};
-  auto impl = p.req.impl_;
+  auto impl = p.impl;
 
   if (env.inlined) {
     if (env.data_valid && !env.data.empty() && rt_.system().memory.dereferenceable(p.buf)) {
       std::memcpy(p.buf, env.data.data(), env.data.size());
     }
+    // The inline payload is consumed: recycle its storage into the shared
+    // eager pool (it was taken from there in isendImpl).
+    rt_.cmi().ucx().recycleBuffer(std::move(env.data));
     const double copy_us =
         (static_cast<double>(env.bytes) / 1e3) / rt_.system().config.host_memcpy_gbps;
     pe.exec(sim::usec(costs.ampi_overhead_recv_us + copy_us),
@@ -396,14 +435,40 @@ void World::deliver(int dst_rank, PostedRecv& p, Envelope& env) {
 std::optional<Status> World::iprobeImpl(int rank, int src, int tag, int comm) {
   RankState& st = *ranks_[static_cast<std::size_t>(rank)];
   rt_.cmi().pe(st.pe).charge(sim::usec(rt_.costs().ampi_call_us));
-  for (const Envelope& env : st.unexpected) {
-    const bool src_ok = (src == kAnySource) || (src == env.src_rank);
-    const bool tag_ok = (tag == kAnyTag) || (tag == env.tag);
-    if (src_ok && tag_ok && env.comm == comm) {
-      return Status{env.src_rank, env.tag, env.bytes};
-    }
+  // Fully-concrete probes are O(1) expected — this is polled per scheduler
+  // turn by iprobe-driven loops, which is why the bucket index matters here.
+  const bool exact = src != kAnySource && tag != kAnyTag;
+  const std::uint32_t hit =
+      exact ? st.unexpected.findChain(matchKey(src, tag, comm),
+                                      [src, tag, comm](const Envelope& e) {
+                                        return e.src_rank == src && e.tag == tag && e.comm == comm;
+                                      })
+            : st.unexpected.findOrdered([src, tag, comm](const Envelope& e) {
+                return (src == kAnySource || src == e.src_rank) &&
+                       (tag == kAnyTag || tag == e.tag) && comm == e.comm;
+              });
+  if (hit == kNil) return std::nullopt;
+  const Envelope& env = st.unexpected.at(hit);
+  return Status{env.src_rank, env.tag, env.bytes};
+}
+
+ucx::Worker::MatchStats World::matchStats() const {
+  auto maxOf = [](std::size_t a, std::size_t b) { return a > b ? a : b; };
+  ucx::Worker::MatchStats t;
+  for (const auto& st : ranks_) {
+    t.posted += st->posted_exact.size() + st->posted_wild.size();
+    t.unexpected += st->unexpected.size();
+    t.posted_hwm =
+        maxOf(t.posted_hwm, st->posted_exact.highWatermark() + st->posted_wild.highWatermark());
+    t.unexpected_hwm = maxOf(t.unexpected_hwm, st->unexpected.highWatermark());
+    t.posted_buckets += st->posted_exact.bucketCount();
+    t.unexpected_buckets += st->unexpected.bucketCount();
+    t.posted_max_chain = maxOf(t.posted_max_chain, st->posted_exact.maxChainLength());
+    t.unexpected_max_chain = maxOf(t.unexpected_max_chain, st->unexpected.maxChainLength());
+    t.scan_steps +=
+        st->posted_exact.scanSteps() + st->posted_wild.scanSteps() + st->unexpected.scanSteps();
   }
-  return std::nullopt;
+  return t;
 }
 
 Comm World::commOf(int id) {

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "charm/charm.hpp"
+#include "sim/bucket_fifo.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
+#include "ucx/worker.hpp"
 
 /// \file ampi.hpp
 /// Adaptive MPI: an MPI library implemented on the Charm++ runtime system
@@ -262,6 +264,10 @@ class World {
   [[nodiscard]] std::uint64_t cacheHits() const noexcept { return cache_hits_; }
   [[nodiscard]] std::uint64_t cacheMisses() const noexcept { return cache_misses_; }
 
+  /// Aggregated matching-engine occupancy across every rank's posted /
+  /// unexpected stores (`gpucomm_sweep --metric match`).
+  [[nodiscard]] ucx::Worker::MatchStats matchStats() const;
+
  private:
   friend class Rank;
   struct RankChare;
@@ -278,7 +284,10 @@ class World {
     bool data_valid = true;
   };
   struct PostedRecv {
-    Request req;
+    /// Completion state of the user's Request handle. Held directly (not as
+    /// a Request) so the bucket store's slot recycling never constructs a
+    /// fresh ReqImpl.
+    std::shared_ptr<detail::ReqImpl> impl;
     void* buf = nullptr;
     std::uint64_t capacity = 0;
     int src = kAnySource;  ///< world rank (translated from comm-local)
@@ -289,8 +298,14 @@ class World {
     Rank self;
     int pe = -1;
     ck::Proxy<RankChare> chare;
-    std::deque<PostedRecv> posted;
-    std::deque<Envelope> unexpected;
+    /// Bucketed matching state, mirroring ucx::Worker: receives with both
+    /// src and tag concrete are hashed by (comm, src, tag); receives using
+    /// kAnySource/kAnyTag sit in a post-ordered wildcard store; a shared
+    /// sequence counter arbitrates between the two on envelope arrival.
+    sim::BucketFifo<PostedRecv> posted_exact;
+    sim::BucketFifo<PostedRecv> posted_wild;
+    sim::BucketFifo<Envelope> unexpected;
+    std::uint64_t match_seq = 0;
     std::vector<std::uint32_t> seq_out;       ///< next seq per destination rank
     std::vector<std::uint32_t> seq_expected;  ///< next in-order seq per source rank
     std::vector<std::vector<Envelope>> out_of_order;  ///< per source rank

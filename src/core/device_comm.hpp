@@ -119,6 +119,13 @@ class DeviceComm {
   /// same tag could never match the already-consumed receive.
   [[nodiscard]] std::uint64_t acksLost() const noexcept { return acks_lost_; }
 
+  /// Matching-engine occupancy of the UCX workers this machine layer posts
+  /// into. Device-metadata receives delegate to Worker::tagRecv under a full
+  /// mask, so they ride the bucketed exact-tag path directly; this surfaces
+  /// the resulting posted/unexpected high-watermarks and bucket occupancy
+  /// for `gpucomm_sweep --metric match`.
+  [[nodiscard]] ucx::Worker::MatchStats matchStats() { return cmi_.ucx().matchStats(); }
+
  private:
   /// Issues the UCX send, routing through the host-staged fallback when the
   /// link is down at issue time or when the GPU-aware send fails terminally

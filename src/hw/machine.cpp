@@ -97,7 +97,7 @@ sim::TimePoint Machine::transfer(const Path& path, sim::TimePoint now, std::uint
   // of the links that follow it.
   sim::TimePoint head = now;
   sim::TimePoint completion = 0;
-  std::vector<sim::TimePoint> drain(path.size());
+  std::array<sim::TimePoint, Path::kMaxLinks> drain{};
   for (std::size_t i = 0; i < path.size(); ++i) {
     Link& link = *path[i];
     const sim::TimePoint start = head > link.freeAt() ? head : link.freeAt();

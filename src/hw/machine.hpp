@@ -1,6 +1,9 @@
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -62,7 +65,39 @@ struct GpuId {
 };
 
 /// An ordered sequence of links data crosses, store-and-forward.
-using Path = std::vector<Link*>;
+///
+/// Fixed inline capacity: the deepest route the topology produces is
+/// GPU egress + NIC up + NIC down + GPU ingress (4 links), so building a
+/// path on the per-message hot path never touches the heap. The capacity
+/// leaves headroom for composed egress/host/ingress segments.
+class Path {
+ public:
+  static constexpr std::size_t kMaxLinks = 6;
+
+  Path() = default;
+  Path(std::initializer_list<Link*> ls) {
+    for (Link* l : ls) push_back(l);
+  }
+
+  void push_back(Link* l) {
+    assert(n_ < kMaxLinks && "Path inline capacity exceeded");
+    links_[n_++] = l;
+  }
+  /// Concatenates `other`'s links after this path's.
+  void append(const Path& other) {
+    for (Link* l : other) push_back(l);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  Link* operator[](std::size_t i) const noexcept { return links_[i]; }
+  [[nodiscard]] Link* const* begin() const noexcept { return links_.data(); }
+  [[nodiscard]] Link* const* end() const noexcept { return links_.data() + n_; }
+
+ private:
+  std::array<Link*, kMaxLinks> links_{};
+  std::uint8_t n_ = 0;
+};
 
 /// A serially-shared execution resource (e.g. a GPU's SM array): work items
 /// occupy it back to back regardless of which stream issued them.

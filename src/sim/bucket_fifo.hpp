@@ -1,0 +1,236 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file bucket_fifo.hpp
+/// BucketFifo<T>: a hash-bucketed FIFO store for tag-matching engines.
+///
+/// Real UCX (and the MPI runtimes layered on it) hash-buckets exact-tag
+/// matching because the posted/unexpected queues are the per-message hot
+/// path. This container provides exactly the operations those matchers need:
+///
+///  * push(key, seq, value)      append; FIFO within the key's hash chain
+///                               AND within a global insertion-order list
+///  * findChain(key, pred)       earliest entry whose key hashes with `key`
+///                               and satisfies `pred` — O(1) expected
+///  * findOrdered(pred)          earliest entry overall satisfying `pred` —
+///                               the wildcard path, O(live entries)
+///  * erase / take(slot)         O(1) unlink by slot id (cancel, match)
+///
+/// Entries live in a slab (std::vector) recycled through a free list, so the
+/// steady state performs no heap allocation: push reuses a free slot, erase
+/// returns it. Slot ids stay valid until erased (slab growth moves nodes but
+/// ids are indices, not pointers). Hash collisions of distinct keys share a
+/// chain; callers filter with `pred` (exact field compare), so a colliding
+/// or even degenerate hash affects only speed, never matching semantics.
+///
+/// Rehash doubles the (power-of-two) bucket table when the live count
+/// exceeds 2x the bucket count and relinks chains by walking the global
+/// order list, which preserves per-key FIFO order exactly.
+
+namespace cux::sim {
+
+/// SplitMix64 finalizer: distributes structured keys (machine tags pack
+/// MSG|PE|CNT bit fields) across buckets.
+[[nodiscard]] constexpr std::uint64_t mixKey(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+class BucketFifo {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t highWatermark() const noexcept { return hwm_; }
+  [[nodiscard]] std::size_t bucketCount() const noexcept { return heads_.size(); }
+  /// Node visits across all findChain/findOrdered calls — the matcher's
+  /// total scan work. Tests assert O(1) behaviour on this counter.
+  [[nodiscard]] std::uint64_t scanSteps() const noexcept { return scan_steps_; }
+  /// Longest collision chain right now (diagnostics; walks the table).
+  [[nodiscard]] std::size_t maxChainLength() const {
+    std::size_t best = 0;
+    for (std::uint32_t head : heads_) {
+      std::size_t len = 0;
+      for (std::uint32_t s = head; s != kNil; s = nodes_[s].chain_next) ++len;
+      if (len > best) best = len;
+    }
+    return best;
+  }
+
+  /// Appends `value` under `key`. `seq` is the caller's arbitration sequence
+  /// number (exposed through seqOf); FIFO order is structural, not seq-based.
+  std::uint32_t push(std::uint64_t key, std::uint64_t seq, T value) {
+    if (heads_.empty()) growTable(kInitialBuckets);
+    if (size_ + 1 > heads_.size() * 2) growTable(heads_.size() * 2);
+    std::uint32_t slot;
+    if (free_head_ != kNil) {
+      slot = free_head_;
+      free_head_ = nodes_[slot].chain_next;
+      nodes_[slot].value = std::move(value);
+    } else {
+      slot = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{std::move(value)});
+    }
+    Node& n = nodes_[slot];
+    n.key = key;
+    n.seq = seq;
+    n.bucket = bucketOf(key);
+    linkChainTail(slot);
+    linkOrderTail(slot);
+    ++size_;
+    if (size_ > hwm_) hwm_ = size_;
+    return slot;
+  }
+
+  /// Earliest (FIFO) entry whose key hashed into `key`'s bucket and whose
+  /// value satisfies `pred`; kNil if none. Expected O(1 + collisions).
+  template <typename Pred>
+  [[nodiscard]] std::uint32_t findChain(std::uint64_t key, Pred&& pred) const {
+    if (heads_.empty()) return kNil;
+    for (std::uint32_t s = heads_[bucketOf(key)]; s != kNil; s = nodes_[s].chain_next) {
+      ++scan_steps_;
+      if (pred(nodes_[s].value)) return s;
+    }
+    return kNil;
+  }
+
+  /// Earliest (global insertion order) entry satisfying `pred`; kNil if
+  /// none. This is the wildcard-mask path: O(live entries).
+  template <typename Pred>
+  [[nodiscard]] std::uint32_t findOrdered(Pred&& pred) const {
+    for (std::uint32_t s = ord_head_; s != kNil; s = nodes_[s].ord_next) {
+      ++scan_steps_;
+      if (pred(nodes_[s].value)) return s;
+    }
+    return kNil;
+  }
+
+  [[nodiscard]] T& at(std::uint32_t slot) { return nodes_[slot].value; }
+  [[nodiscard]] const T& at(std::uint32_t slot) const { return nodes_[slot].value; }
+  [[nodiscard]] std::uint64_t seqOf(std::uint32_t slot) const { return nodes_[slot].seq; }
+  /// True when `slot` currently names a live entry (guards stale handles).
+  [[nodiscard]] bool liveAt(std::uint32_t slot) const noexcept {
+    return slot < nodes_.size() && nodes_[slot].bucket != kNil;
+  }
+
+  /// Moves the value out and erases the slot in O(1).
+  [[nodiscard]] T take(std::uint32_t slot) {
+    T v = std::move(nodes_[slot].value);
+    erase(slot);
+    return v;
+  }
+
+  void erase(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    unlinkChain(slot);
+    unlinkOrder(slot);
+    n.bucket = kNil;
+    n.value = T{};  // release payload-owned resources immediately
+    n.chain_next = free_head_;
+    free_head_ = slot;
+    --size_;
+  }
+
+  /// Visits every live entry in insertion order.
+  template <typename Fn>
+  void forEachOrdered(Fn&& fn) const {
+    for (std::uint32_t s = ord_head_; s != kNil; s = nodes_[s].ord_next) fn(nodes_[s].value);
+  }
+
+ private:
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  struct Node {
+    T value{};
+    std::uint64_t key = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t bucket = kNil;  ///< kNil == slot is free
+    std::uint32_t chain_prev = kNil, chain_next = kNil;
+    std::uint32_t ord_prev = kNil, ord_next = kNil;
+  };
+
+  [[nodiscard]] std::uint32_t bucketOf(std::uint64_t key) const noexcept {
+    return static_cast<std::uint32_t>(mixKey(key) & (heads_.size() - 1));
+  }
+
+  void linkChainTail(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    n.chain_prev = tails_[n.bucket];
+    n.chain_next = kNil;
+    if (n.chain_prev != kNil) {
+      nodes_[n.chain_prev].chain_next = slot;
+    } else {
+      heads_[n.bucket] = slot;
+    }
+    tails_[n.bucket] = slot;
+  }
+
+  void unlinkChain(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    if (n.chain_prev != kNil) {
+      nodes_[n.chain_prev].chain_next = n.chain_next;
+    } else {
+      heads_[n.bucket] = n.chain_next;
+    }
+    if (n.chain_next != kNil) {
+      nodes_[n.chain_next].chain_prev = n.chain_prev;
+    } else {
+      tails_[n.bucket] = n.chain_prev;
+    }
+  }
+
+  void linkOrderTail(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    n.ord_prev = ord_tail_;
+    n.ord_next = kNil;
+    if (ord_tail_ != kNil) {
+      nodes_[ord_tail_].ord_next = slot;
+    } else {
+      ord_head_ = slot;
+    }
+    ord_tail_ = slot;
+  }
+
+  void unlinkOrder(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    if (n.ord_prev != kNil) {
+      nodes_[n.ord_prev].ord_next = n.ord_next;
+    } else {
+      ord_head_ = n.ord_next;
+    }
+    if (n.ord_next != kNil) {
+      nodes_[n.ord_next].ord_prev = n.ord_prev;
+    } else {
+      ord_tail_ = n.ord_prev;
+    }
+  }
+
+  void growTable(std::size_t buckets) {
+    heads_.assign(buckets, kNil);
+    tails_.assign(buckets, kNil);
+    // Relink chains by walking the global order list: per-key FIFO order is
+    // a sub-order of global insertion order, so it survives the rehash.
+    for (std::uint32_t s = ord_head_; s != kNil; s = nodes_[s].ord_next) {
+      nodes_[s].bucket = bucketOf(nodes_[s].key);
+      linkChainTail(s);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> heads_, tails_;
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t ord_head_ = kNil, ord_tail_ = kNil;
+  std::size_t size_ = 0;
+  std::size_t hwm_ = 0;
+  mutable std::uint64_t scan_steps_ = 0;
+};
+
+}  // namespace cux::sim

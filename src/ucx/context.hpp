@@ -72,6 +72,52 @@ class Context {
     return n;
   }
 
+  // --- allocation-light message path --------------------------------------
+
+  /// Pooled Request allocation: every send/recv/AM request comes from the
+  /// freelist-backed RequestPool (request.hpp), so the steady state performs
+  /// no heap allocation per request. Pool lifetime is safe even when a
+  /// RequestPtr outlives this Context (the arena is shared into the
+  /// control blocks).
+  [[nodiscard]] RequestPtr makeRequest() {
+    return cfg_.pooling ? req_pool_.make() : std::make_shared<Request>();
+  }
+  [[nodiscard]] std::uint64_t requestPoolHits() const noexcept { return req_pool_.hits(); }
+  [[nodiscard]] std::uint64_t requestPoolMisses() const noexcept { return req_pool_.misses(); }
+
+  /// Takes a recycled eager-payload buffer (resized to `len`) or allocates a
+  /// fresh one on a pool miss. Buffers return through recycleBuffer() once
+  /// the receive-side memcpy has consumed them.
+  [[nodiscard]] std::vector<std::byte> takeBuffer(std::uint64_t len);
+  /// Returns an eager-payload buffer to the bounded pool (dropped if the
+  /// pool is full or the buffer grew past the retention cap).
+  void recycleBuffer(std::vector<std::byte>&& buf);
+  [[nodiscard]] std::uint64_t bufferPoolHits() const noexcept { return buf_hits_; }
+  [[nodiscard]] std::uint64_t bufferPoolMisses() const noexcept { return buf_misses_; }
+
+  /// Aggregated matching-engine statistics across all workers
+  /// (`gpucomm_sweep --metric match`).
+  [[nodiscard]] Worker::MatchStats matchStats() const {
+    Worker::MatchStats total;
+    for (const auto& w : workers_) {
+      const Worker::MatchStats s = w->matchStats();
+      total.posted += s.posted;
+      total.unexpected += s.unexpected;
+      total.posted_hwm = total.posted_hwm > s.posted_hwm ? total.posted_hwm : s.posted_hwm;
+      total.unexpected_hwm =
+          total.unexpected_hwm > s.unexpected_hwm ? total.unexpected_hwm : s.unexpected_hwm;
+      total.posted_buckets += s.posted_buckets;
+      total.unexpected_buckets += s.unexpected_buckets;
+      total.posted_max_chain =
+          total.posted_max_chain > s.posted_max_chain ? total.posted_max_chain : s.posted_max_chain;
+      total.unexpected_max_chain = total.unexpected_max_chain > s.unexpected_max_chain
+                                       ? total.unexpected_max_chain
+                                       : s.unexpected_max_chain;
+      total.scan_steps += s.scan_steps;
+    }
+    return total;
+  }
+
  private:
   friend class Worker;
 
@@ -148,6 +194,20 @@ class Context {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t send_errors_ = 0;
+
+  // --- pools (see docs/architecture.md, "tag-matching engine") -------------
+  /// Retention caps bound idle memory by BYTES, not entry count: eager
+  /// payloads are small (<= host_eager_threshold), so a fixed entry count
+  /// would either waste memory on large buffers or thrash on bursts of
+  /// thousands of small in-flight messages. A single buffer above
+  /// kMaxPooledBufferBytes is never retained.
+  static constexpr std::size_t kMaxPooledBytes = 8 * 1024 * 1024;
+  static constexpr std::size_t kMaxPooledBufferBytes = 512 * 1024;
+  RequestPool req_pool_;
+  std::vector<std::vector<std::byte>> buf_pool_;
+  std::size_t buf_pool_bytes_ = 0;  ///< sum of pooled capacities
+  std::uint64_t buf_hits_ = 0;
+  std::uint64_t buf_misses_ = 0;
 };
 
 }  // namespace cux::ucx

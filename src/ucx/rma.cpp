@@ -27,16 +27,9 @@ sim::TimePoint Rma::dataTransfer(int from_pe, const void* from, int to_pe, void*
   if (src_dev && dst_dev) {
     path = machine.deviceToDevicePath(from_pe, to_pe);
   } else {
-    if (src_dev) {
-      hw::Path e = machine.deviceEgressPath(from_pe);
-      path.insert(path.end(), e.begin(), e.end());
-    }
-    hw::Path h = machine.hostToHostPath(from_pe, to_pe);
-    path.insert(path.end(), h.begin(), h.end());
-    if (dst_dev) {
-      hw::Path i = machine.deviceIngressPath(to_pe);
-      path.insert(path.end(), i.begin(), i.end());
-    }
+    if (src_dev) path.append(machine.deviceEgressPath(from_pe));
+    path.append(machine.hostToHostPath(from_pe, to_pe));
+    if (dst_dev) path.append(machine.deviceIngressPath(to_pe));
   }
   return path.empty() ? start : machine.transfer(path, start, len);
 }

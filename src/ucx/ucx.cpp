@@ -132,9 +132,44 @@ sim::TimePoint Context::stageDeviceEager(sim::TimePoint t, int pe, std::uint64_t
   return link.reserve(t + sim::usec(cfg_.cuda_stage_latency_us), len);
 }
 
+std::vector<std::byte> Context::takeBuffer(std::uint64_t len) {
+  if (!cfg_.pooling) {
+    std::vector<std::byte> v;
+    v.resize(len);
+    return v;
+  }
+  if (!buf_pool_.empty()) {
+    std::vector<std::byte> v = std::move(buf_pool_.back());
+    buf_pool_.pop_back();
+    buf_pool_bytes_ -= v.capacity();
+    if (v.capacity() >= len) {
+      ++buf_hits_;
+    } else {
+      ++buf_misses_;  // undersized recycled buffer: resize reallocates below
+    }
+    v.resize(len);
+    return v;
+  }
+  ++buf_misses_;
+  std::vector<std::byte> v;
+  v.resize(len);
+  return v;
+}
+
+void Context::recycleBuffer(std::vector<std::byte>&& buf) {
+  if (!cfg_.pooling) return;  // pooling disabled: let the buffer free normally
+  if (buf.capacity() == 0 || buf.capacity() > kMaxPooledBufferBytes ||
+      buf_pool_bytes_ + buf.capacity() > kMaxPooledBytes) {
+    return;  // dropped: keep idle memory bounded
+  }
+  buf.clear();
+  buf_pool_bytes_ += buf.capacity();
+  buf_pool_.push_back(std::move(buf));
+}
+
 RequestPtr Context::tagSend(int src_pe, int dst_pe, const void* buf, std::uint64_t len, Tag tag,
                             CompletionFn cb) {
-  auto req = std::make_shared<Request>();
+  auto req = makeRequest();
   req->peer_pe = dst_pe;
   req->bytes = len;
   req->matched_tag = tag;
@@ -163,7 +198,7 @@ RequestPtr Context::tagSendHostStaged(int src_pe, int dst_pe, const void* buf, s
                                       Tag tag, CompletionFn cb) {
   if (!sys_.memory.isDevice(buf)) return tagSend(src_pe, dst_pe, buf, len, tag, std::move(cb));
 
-  auto req = std::make_shared<Request>();
+  auto req = makeRequest();
   req->peer_pe = dst_pe;
   req->bytes = len;
   req->matched_tag = tag;
@@ -187,7 +222,7 @@ RequestPtr Context::tagSendHostStaged(int src_pe, int dst_pe, const void* buf, s
 
 RequestPtr Context::amSend(int src_pe, int dst_pe, Tag tag, std::vector<std::byte> payload,
                            CompletionFn cb) {
-  auto req = std::make_shared<Request>();
+  auto req = makeRequest();
   req->peer_pe = dst_pe;
   req->bytes = payload.size();
   req->matched_tag = tag;
@@ -283,7 +318,7 @@ void Context::sendEager(int src_pe, int dst_pe, const void* buf, std::uint64_t l
   msg.len = len;
   msg.src_device = src_device;
   if (sys_.memory.dereferenceable(buf) && len > 0) {
-    msg.payload.resize(len);
+    msg.payload = takeBuffer(len);
     std::memcpy(msg.payload.data(), buf, len);
   } else {
     msg.payload_valid = (len == 0);
@@ -441,16 +476,9 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
     }
     // Mixed or intra-node host: compose egress/host/ingress segments.
     hw::Path path;
-    if (src_device) {
-      hw::Path e = machine.deviceEgressPath(src_pe);
-      path.insert(path.end(), e.begin(), e.end());
-    }
-    hw::Path h = machine.hostToHostPath(src_pe, dst_pe);
-    path.insert(path.end(), h.begin(), h.end());
-    if (dst_device) {
-      hw::Path i = machine.deviceIngressPath(dst_pe);
-      path.insert(path.end(), i.begin(), i.end());
-    }
+    if (src_device) path.append(machine.deviceEgressPath(src_pe));
+    path.append(machine.hostToHostPath(src_pe, dst_pe));
+    if (dst_device) path.append(machine.deviceIngressPath(dst_pe));
     const sim::TimePoint arrival = machine.transfer(path, start, len);
     return path.empty() ? start : arrival;  // empty path: self-send
   };
@@ -542,24 +570,64 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
 // Worker
 // ---------------------------------------------------------------------------
 
+bool Worker::linearMatcher() const { return ctx_.config().matcher == MatcherImpl::Linear; }
+
+void Worker::dispatchMatch(PostedRecv r, Incoming msg) {
+  if (msg.is_rndv) {
+    startRndvTransfer(std::move(r), std::move(msg));
+  } else {
+    completeRecvFromEager(std::move(r), std::move(msg));
+  }
+}
+
 RequestPtr Worker::tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, CompletionFn cb) {
-  auto req = std::make_shared<Request>();
+  RequestPtr req = ctx_.makeRequest();
   PostedRecv r{req, buf, len, tag, mask, std::move(cb)};
 
-  // Scan the unexpected queue in arrival order.
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (tagsMatch(it->tag, tag, mask)) {
-      Incoming msg = std::move(*it);
-      unexpected_.erase(it);
-      if (msg.is_rndv) {
-        startRndvTransfer(std::move(r), std::move(msg));
-      } else {
-        completeRecvFromEager(std::move(r), std::move(msg));
+  if (linearMatcher()) {
+    // Reference matcher: scan the unexpected queue in arrival order.
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      ++linear_scan_steps_;
+      if (tagsMatch(it->tag, tag, mask)) {
+        Incoming msg = std::move(*it);
+        unexpected_.erase(it);
+        dispatchMatch(std::move(r), std::move(msg));
+        return req;
       }
-      return req;
     }
+    req->match_queue = Request::MatchQueue::Linear;
+    posted_.push_back(std::move(r));
+    if (posted_.size() > posted_hwm_) posted_hwm_ = posted_.size();
+    return req;
   }
-  posted_.push_back(std::move(r));
+
+  // Bucketed matcher. An exact (kFullMask) receive probes the hash chain of
+  // its full tag; a wildcard receive walks the store in arrival order. The
+  // chain is FIFO and collisions are filtered by the predicate, so the first
+  // satisfying entry is the earliest-arrived match either way — exactly what
+  // the linear scan would have found.
+  const std::uint32_t hit =
+      mask == kFullMask
+          ? unexpected_idx_.findChain(tag, [tag](const Incoming& m) { return m.tag == tag; })
+          : unexpected_idx_.findOrdered(
+                [tag, mask](const Incoming& m) { return tagsMatch(m.tag, tag, mask); });
+  if (hit != sim::BucketFifo<Incoming>::kNil) {
+    Incoming msg = unexpected_idx_.take(hit);
+    dispatchMatch(std::move(r), std::move(msg));
+    return req;
+  }
+  // No match: post. The shared sequence number records where this receive
+  // sits in post order relative to the other store (see onArrival).
+  const std::uint64_t seq = match_seq_++;
+  if (mask == kFullMask) {
+    req->match_queue = Request::MatchQueue::Exact;
+    req->match_slot = posted_exact_.push(tag, seq, std::move(r));
+  } else {
+    req->match_queue = Request::MatchQueue::Wildcard;
+    req->match_slot = posted_wild_.push(tag & mask, seq, std::move(r));
+  }
+  const std::size_t live = posted_exact_.size() + posted_wild_.size();
+  if (live > posted_hwm_) posted_hwm_ = live;
   return req;
 }
 
@@ -572,28 +640,65 @@ void Worker::setBufferedHandler(Tag tag, Tag mask, BufferProvider fn) {
 }
 
 std::optional<Worker::ProbeInfo> Worker::probe(Tag tag, Tag mask) const {
-  for (const Incoming& msg : unexpected_) {
-    if (tagsMatch(msg.tag, tag, mask)) return ProbeInfo{msg.tag, msg.len, msg.src_pe};
+  if (linearMatcher()) {
+    for (const Incoming& msg : unexpected_) {
+      ++linear_scan_steps_;
+      if (tagsMatch(msg.tag, tag, mask)) return ProbeInfo{msg.tag, msg.len, msg.src_pe};
+    }
+    return std::nullopt;
   }
-  return std::nullopt;
+  const std::uint32_t hit =
+      mask == kFullMask
+          ? unexpected_idx_.findChain(tag, [tag](const Incoming& m) { return m.tag == tag; })
+          : unexpected_idx_.findOrdered(
+                [tag, mask](const Incoming& m) { return tagsMatch(m.tag, tag, mask); });
+  if (hit == sim::BucketFifo<Incoming>::kNil) return std::nullopt;
+  const Incoming& msg = unexpected_idx_.at(hit);
+  return ProbeInfo{msg.tag, msg.len, msg.src_pe};
 }
 
 bool Worker::cancelRecv(const RequestPtr& req) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (it->req == req) {
-      req->state = ReqState::Cancelled;
-      CompletionFn cb = std::move(it->cb);
-      posted_.erase(it);
-      // The completion is delivered through the engine like every other
-      // completion: invoking it synchronously would reenter worker state
-      // mid-operation (the callback may repost, cancel, or send) and give
-      // cancellation an ordering no other completion path has.
-      if (cb) {
-        sim::Engine& engine = ctx_.system().engine;
-        engine.schedule(engine.now(), [req, cb = std::move(cb)] { cb(*req); });
-      }
+  if (!req) return false;
+  // The completion is delivered through the engine like every other
+  // completion: invoking it synchronously would reenter worker state
+  // mid-operation (the callback may repost, cancel, or send) and give
+  // cancellation an ordering no other completion path has.
+  auto deliverCancel = [this, &req](CompletionFn cb) {
+    req->state = ReqState::Cancelled;
+    if (cb) {
+      sim::Engine& engine = ctx_.system().engine;
+      engine.schedule(engine.now(), [req, cb = std::move(cb)] { cb(*req); });
+    }
+  };
+  switch (req->match_queue) {
+    case Request::MatchQueue::Exact:
+    case Request::MatchQueue::Wildcard: {
+      // O(1): the request remembers its slot; liveAt + identity guard reject
+      // a stale slot id that was recycled for another receive.
+      auto& store =
+          req->match_queue == Request::MatchQueue::Exact ? posted_exact_ : posted_wild_;
+      const std::uint32_t slot = req->match_slot;
+      if (!store.liveAt(slot) || store.at(slot).req != req) return false;
+      PostedRecv r = store.take(slot);
+      req->match_slot = Request::kNoSlot;
+      req->match_queue = Request::MatchQueue::None;
+      deliverCancel(std::move(r.cb));
       return true;
     }
+    case Request::MatchQueue::Linear:
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        ++linear_scan_steps_;
+        if (it->req == req) {
+          CompletionFn cb = std::move(it->cb);
+          posted_.erase(it);
+          req->match_queue = Request::MatchQueue::None;
+          deliverCancel(std::move(cb));
+          return true;
+        }
+      }
+      return false;
+    case Request::MatchQueue::None:
+      break;  // never posted, or already matched/cancelled
   }
   return false;
 }
@@ -609,15 +714,40 @@ void Worker::noteDuplicateSuppressed(int src_pe, std::uint64_t len, Tag tag) {
 }
 
 void Worker::onArrival(Incoming msg) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (tagsMatch(msg.tag, it->tag, it->mask)) {
-      PostedRecv r = std::move(*it);
-      posted_.erase(it);
-      if (msg.is_rndv) {
-        startRndvTransfer(std::move(r), std::move(msg));
-      } else {
-        completeRecvFromEager(std::move(r), std::move(msg));
+  if (linearMatcher()) {
+    // Reference matcher: scan posted receives in post order.
+    bool matched = false;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      ++linear_scan_steps_;
+      if (tagsMatch(msg.tag, it->tag, it->mask)) {
+        PostedRecv r = std::move(*it);
+        posted_.erase(it);
+        r.req->match_queue = Request::MatchQueue::None;
+        dispatchMatch(std::move(r), std::move(msg));
+        matched = true;
+        break;
       }
+    }
+    if (matched) return;
+  } else {
+    // Earliest exact candidate: the chain keyed by the full tag is FIFO, so
+    // its first entry carrying this tag is the earliest-posted exact receive.
+    const std::uint32_t ex = posted_exact_.findChain(
+        msg.tag, [tag = msg.tag](const PostedRecv& r) { return r.tag == tag; });
+    // Earliest wildcard candidate: post-order walk of the wildcard store.
+    const std::uint32_t wi = posted_wild_.findOrdered(
+        [tag = msg.tag](const PostedRecv& r) { return tagsMatch(tag, r.tag, r.mask); });
+    constexpr std::uint32_t kNil = sim::BucketFifo<PostedRecv>::kNil;
+    if (ex != kNil || wi != kNil) {
+      // Arbitrate by post sequence number: the smaller seq is the receive a
+      // single post-ordered scan would have reached first.
+      const bool exact_wins =
+          ex != kNil && (wi == kNil || posted_exact_.seqOf(ex) < posted_wild_.seqOf(wi));
+      auto& store = exact_wins ? posted_exact_ : posted_wild_;
+      PostedRecv r = store.take(exact_wins ? ex : wi);
+      r.req->match_slot = Request::kNoSlot;
+      r.req->match_queue = Request::MatchQueue::None;
+      dispatchMatch(std::move(r), std::move(msg));
       return;
     }
   }
@@ -628,12 +758,8 @@ void Worker::onArrival(Incoming msg) {
     if (!tagsMatch(msg.tag, bh.tag, bh.mask)) continue;
     auto [buf, cb] = bh.fn(msg.len, msg.tag, msg.src_pe);
     if (buf == nullptr && msg.len > 0) continue;  // declined
-    PostedRecv r{std::make_shared<Request>(), buf, msg.len, msg.tag, kFullMask, std::move(cb)};
-    if (msg.is_rndv) {
-      startRndvTransfer(std::move(r), std::move(msg));
-    } else {
-      completeRecvFromEager(std::move(r), std::move(msg));
-    }
+    PostedRecv r{ctx_.makeRequest(), buf, msg.len, msg.tag, kFullMask, std::move(cb)};
+    dispatchMatch(std::move(r), std::move(msg));
     return;
   }
   for (Handler& h : handlers_) {
@@ -642,8 +768,28 @@ void Worker::onArrival(Incoming msg) {
       return;
     }
   }
-  unexpected_.push_back(std::move(msg));
-  if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
+  if (linearMatcher()) {
+    unexpected_.push_back(std::move(msg));
+    if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
+  } else {
+    const Tag t = msg.tag;
+    const std::uint64_t seq = match_seq_++;
+    unexpected_idx_.push(t, seq, std::move(msg));
+  }
+}
+
+Worker::MatchStats Worker::matchStats() const {
+  MatchStats s;
+  s.posted = postedCount();
+  s.unexpected = unexpectedCount();
+  s.posted_hwm = posted_hwm_;
+  s.unexpected_hwm = unexpectedHighWatermark();
+  s.posted_buckets = posted_exact_.bucketCount();
+  s.unexpected_buckets = unexpected_idx_.bucketCount();
+  s.posted_max_chain = posted_exact_.maxChainLength();
+  s.unexpected_max_chain = unexpected_idx_.maxChainLength();
+  s.scan_steps = matchScanSteps();
+  return s;
 }
 
 void Worker::completeRecvFromEager(PostedRecv r, Incoming msg) {
@@ -660,17 +806,20 @@ void Worker::completeRecvFromEager(PostedRecv r, Incoming msg) {
   req->peer_pe = msg.src_pe;
   void* buf = r.buf;
   CompletionFn cb = std::move(r.cb);
-  const int pe = pe_;
   // Capture the payload fields individually instead of the whole Incoming:
   // the completion then fits SmallFn's inline buffer (no allocation).
-  engine.schedule(t, [&sys = ctx.system(), req, cb = std::move(cb), buf, pe,
-                      payload = std::move(msg.payload), payload_valid = msg.payload_valid,
-                      tag = msg.tag, src_pe = msg.src_pe, len = msg.len]() mutable {
+  engine.schedule(t, [this, req, cb = std::move(cb), buf, payload = std::move(msg.payload),
+                      payload_valid = msg.payload_valid, tag = msg.tag, src_pe = msg.src_pe,
+                      len = msg.len]() mutable {
+    hw::System& sys = ctx_.system();
     if (payload_valid && !payload.empty() && sys.memory.dereferenceable(buf)) {
       std::memcpy(buf, payload.data(), payload.size());
     }
+    // The payload has been consumed: its storage goes back to the eager pool
+    // so the steady-state path stops allocating per message.
+    ctx_.recycleBuffer(std::move(payload));
     req->state = ReqState::Done;
-    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag, "eager");
+    sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe_, src_pe, len, tag, "eager");
     if (cb) cb(*req);
   });
 }

@@ -8,13 +8,14 @@
 #include <optional>
 #include <vector>
 
+#include "sim/bucket_fifo.hpp"
 #include "ucx/request.hpp"
 
 /// \file worker.hpp
 /// Per-PE communication endpoint, the moral equivalent of a ucp_worker.
 ///
-/// A Worker owns the tag-matching engine: the list of posted receives, the
-/// unexpected-message queue, and persistent "handler" receives used by the
+/// A Worker owns the tag-matching engine: the posted-receive store, the
+/// unexpected-message store, and persistent "handler" receives used by the
 /// Converse machine layer to accept arbitrary-size host messages (standing in
 /// for the wildcard pre-posted receives of the real UCX machine layer).
 ///
@@ -24,6 +25,19 @@
 ///  * persistent handlers are consulted after posted receives, so explicit
 ///    receives and machine-layer traffic can share the worker (in practice
 ///    the MSG_BITS of the tag keep their tag spaces disjoint).
+///
+/// Two implementations provide those semantics (UcxConfig::matcher):
+///
+///  * `Bucketed` (default): posted full-mask receives and unexpected messages
+///    live in sim::BucketFifo stores hashed by full tag, wildcard-mask
+///    receives in a separate insertion-ordered store. Exact lookups are O(1)
+///    expected; a shared monotonic sequence number arbitrates exact-vs-
+///    wildcard candidates so post order is preserved bit-for-bit across the
+///    split. Cancellation is O(1) through the request's slot back-pointer.
+///  * `Linear`: the original deque scans, retained as the reference matcher
+///    for the randomized cross-check and trace-hash equality tests.
+///
+/// See the "tag-matching engine" section of docs/architecture.md.
 
 namespace cux::ucx {
 
@@ -73,10 +87,13 @@ class Worker {
   void setBufferedHandler(Tag tag, Tag mask, BufferProvider fn);
 
   /// Cancels a pending posted receive; returns false if it already matched.
+  /// O(1) under the bucketed matcher: the request's match_slot back-pointer
+  /// unlinks it directly, no scan of the other posted receives.
   bool cancelRecv(const RequestPtr& req);
 
   /// Probe metadata of a pending unexpected message (ucp_tag_probe_nb with
-  /// remove=0): tag, length and source of the first match, if any.
+  /// remove=0): tag, length and source of the first match, if any. Exact
+  /// (kFullMask) probes are O(1) expected under the bucketed matcher.
   struct ProbeInfo {
     Tag tag = 0;
     std::uint64_t len = 0;
@@ -85,24 +102,55 @@ class Worker {
   [[nodiscard]] std::optional<ProbeInfo> probe(Tag tag, Tag mask) const;
 
   // --- statistics --------------------------------------------------------
-  [[nodiscard]] std::size_t postedCount() const noexcept { return posted_.size(); }
-  [[nodiscard]] std::size_t unexpectedCount() const noexcept { return unexpected_.size(); }
+  [[nodiscard]] std::size_t postedCount() const noexcept {
+    return posted_.size() + posted_exact_.size() + posted_wild_.size();
+  }
+  [[nodiscard]] std::size_t unexpectedCount() const noexcept {
+    return unexpected_.size() + unexpected_idx_.size();
+  }
+  /// Largest size the posted-receive store ever reached.
+  [[nodiscard]] std::size_t postedHighWatermark() const noexcept { return posted_hwm_; }
   /// Largest size the unexpected queue ever reached; retransmission storms
   /// inflate it, and the fault-injection tests assert it stays bounded.
-  [[nodiscard]] std::size_t unexpectedHighWatermark() const noexcept { return unexpected_hwm_; }
+  [[nodiscard]] std::size_t unexpectedHighWatermark() const noexcept {
+    return unexpected_hwm_ > unexpected_idx_.highWatermark() ? unexpected_hwm_
+                                                             : unexpected_idx_.highWatermark();
+  }
   /// Duplicate deliveries suppressed by the reliability layer
   /// (a retransmit racing a jitter-delayed original).
   [[nodiscard]] std::uint64_t duplicatesSuppressed() const noexcept { return dups_suppressed_; }
+  /// Total matcher node visits (bucket chains, wildcard list, and — under the
+  /// reference matcher — linear scans). The O(1) regression tests assert on
+  /// deltas of this counter.
+  [[nodiscard]] std::uint64_t matchScanSteps() const noexcept {
+    return posted_exact_.scanSteps() + posted_wild_.scanSteps() + unexpected_idx_.scanSteps() +
+           linear_scan_steps_;
+  }
+
+  /// Snapshot of the matching engine's occupancy for sweeps/diagnostics
+  /// (`gpucomm_sweep --metric match`).
+  struct MatchStats {
+    std::size_t posted = 0;
+    std::size_t unexpected = 0;
+    std::size_t posted_hwm = 0;
+    std::size_t unexpected_hwm = 0;
+    std::size_t posted_buckets = 0;
+    std::size_t unexpected_buckets = 0;
+    std::size_t posted_max_chain = 0;
+    std::size_t unexpected_max_chain = 0;
+    std::uint64_t scan_steps = 0;
+  };
+  [[nodiscard]] MatchStats matchStats() const;
 
  private:
   friend class Context;
 
   struct PostedRecv {
     RequestPtr req;
-    void* buf;
-    std::uint64_t len;
-    Tag tag;
-    Tag mask;
+    void* buf = nullptr;
+    std::uint64_t len = 0;
+    Tag tag = 0;
+    Tag mask = 0;
     CompletionFn cb;
   };
 
@@ -112,7 +160,9 @@ class Worker {
   ///
   /// Field order packs the struct to 120 bytes so an arrival capture
   /// (worker pointer + Incoming) fits sim::SmallFn's inline buffer; audit
-  /// sizes before adding fields (see docs/architecture.md).
+  /// sizes before adding fields (see docs/architecture.md). Matching-engine
+  /// bookkeeping (arrival sequence numbers, bucket links) deliberately lives
+  /// in the BucketFifo nodes, not here, to hold that budget.
   ///
   /// Reliable-mode duplicate suppression does not live here: retransmits of
   /// one wire message share their Context::WireState, and only the first
@@ -136,11 +186,13 @@ class Worker {
     bool src_device = false;  ///< receiver pays the un-staging cost for device eager
   };
 
+  [[nodiscard]] bool linearMatcher() const;
   void onArrival(Incoming msg);
   /// Accounting for a retransmit copy suppressed before delivery (the
   /// original already arrived); called by Context::reliableTransmit.
   void noteDuplicateSuppressed(int src_pe, std::uint64_t len, Tag tag);
-  void matchAgainstUnexpected(PostedRecv& r);
+  /// Routes a matched pair to the eager or rendezvous completion path.
+  void dispatchMatch(PostedRecv r, Incoming msg);
   void completeRecvFromEager(PostedRecv r, Incoming msg);
   void startRndvTransfer(PostedRecv r, Incoming msg);
   void deliverToHandler(HandlerFn& fn, Incoming msg);
@@ -158,12 +210,32 @@ class Worker {
 
   Context& ctx_;
   int pe_;
+
+  // --- bucketed matcher (UcxConfig::matcher == MatcherImpl::Bucketed) ------
+  // Exact (kFullMask) posted receives, hashed by full tag; FIFO per tag.
+  sim::BucketFifo<PostedRecv> posted_exact_;
+  // Wildcard-mask posted receives in post order (findOrdered scans).
+  sim::BucketFifo<PostedRecv> posted_wild_;
+  // Unexpected messages, hashed by full tag AND threaded on an arrival-order
+  // list, so exact receives probe one chain and wildcard receives walk
+  // arrival order.
+  sim::BucketFifo<Incoming> unexpected_idx_;
+  /// Shared post/arrival sequence counter. A message arrival compares the
+  /// earliest exact candidate's seq against the earliest matching wildcard's
+  /// seq and takes the smaller — exactly the receive a single post-ordered
+  /// scan would have found first.
+  std::uint64_t match_seq_ = 0;
+
+  // --- reference linear matcher (MatcherImpl::Linear) ----------------------
   std::deque<PostedRecv> posted_;
   std::deque<Incoming> unexpected_;
+
   std::deque<Handler> handlers_;  // deque: handler addresses stay stable
   std::deque<BufferedHandler> buffered_handlers_;
+  std::size_t posted_hwm_ = 0;
   std::size_t unexpected_hwm_ = 0;
   std::uint64_t dups_suppressed_ = 0;
+  mutable std::uint64_t linear_scan_steps_ = 0;
 };
 
 }  // namespace cux::ucx

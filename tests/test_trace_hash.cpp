@@ -32,8 +32,12 @@ TEST(TraceHash, OrderSensitive) {
   EXPECT_NE(a.hash(), sim::Tracer{}.hash());
 }
 
-std::uint64_t mixedUcxTrafficHash(const sim::FaultConfig& fault = {}) {
+std::uint64_t mixedUcxTrafficHash(const sim::FaultConfig& fault = {},
+                                  ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed,
+                                  bool pooling = true) {
   model::Model m = model::summit(2);
+  m.ucx.matcher = matcher;
+  m.ucx.pooling = pooling;
   m.machine.fault = fault;
   hw::System sys(m.machine);
   sys.trace.enable();
@@ -87,8 +91,10 @@ TEST(TraceHash, MixedUcxTrafficBitIdenticalAcrossRuns) {
   EXPECT_NE(h1, sim::Tracer{}.hash());  // the workload actually traced something
 }
 
-std::uint64_t deviceCommHash(bool smp, const sim::FaultConfig& fault = {}) {
+std::uint64_t deviceCommHash(bool smp, const sim::FaultConfig& fault = {},
+                             ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed) {
   model::Model m = model::summit(2);
+  m.ucx.matcher = matcher;
   m.costs.smp_comm_thread = smp;
   m.machine.fault = fault;
   hw::System sys(m.machine);
@@ -127,6 +133,26 @@ TEST(TraceHash, DeviceCommBitIdenticalAcrossRuns) {
   EXPECT_EQ(deviceCommHash(true), deviceCommHash(true));
   // SMP routing really changes the timeline (comm-thread serialisation).
   EXPECT_NE(deviceCommHash(false), deviceCommHash(true));
+}
+
+// The bucketed matcher's contract: on fault-free traces it is bit-identical
+// to the reference linear matcher — same matches, same timestamps, same
+// event order — for the full protocol mix (eager/rendezvous, host/device,
+// posted/unexpected, active messages) and for the machine-layer device path.
+// Pooling must likewise be timing-invisible: it recycles storage, never
+// changes behaviour.
+TEST(TraceHash, BucketedMatcherBitIdenticalToLinearReference) {
+  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed),
+            mixedUcxTrafficHash({}, ucx::MatcherImpl::Linear));
+  EXPECT_EQ(deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed),
+            deviceCommHash(false, {}, ucx::MatcherImpl::Linear));
+  EXPECT_EQ(deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed),
+            deviceCommHash(true, {}, ucx::MatcherImpl::Linear));
+}
+
+TEST(TraceHash, PoolingIsTraceInvisible) {
+  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true),
+            mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, false));
 }
 
 // The determinism contract of the fault injector: while DISABLED it must be

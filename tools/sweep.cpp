@@ -20,8 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "ampi/ampi.hpp"
 #include "apps/jacobi/jacobi.hpp"
 #include "apps/osu/osu.hpp"
+#include "converse/converse.hpp"
+#include "core/device_comm.hpp"
+#include "hw/cuda.hpp"
 #include "sim/fault.hpp"
 
 using namespace cux;
@@ -50,7 +54,12 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss  what to measure (default latency)\n"
+      "  --metric latency|bandwidth|jacobi|loss|match  what to measure\n"
+      "                                      (match: tag-matching engine occupancy\n"
+      "                                      per stack — posted/unexpected\n"
+      "                                      high-watermarks, bucket counts, longest\n"
+      "                                      chains, scan steps; uses --nodes,\n"
+      "                                      --window, --iters)\n"
       "  --stack charm|ampi|ompi|charm4py    programming model (default charm)\n"
       "  --mode device|host                  GPU-aware (-D) or host-staging (-H)\n"
       "  --place intra|inter                 PE placement for micro-benchmarks\n"
@@ -209,6 +218,115 @@ int runLoss(const Args& a) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// --metric match: tag-matching engine occupancy per stack
+// --------------------------------------------------------------------------
+
+void printMatchRow(const char* stack, const ucx::Worker::MatchStats& s) {
+  std::printf("%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%llu\n", stack, s.posted_hwm, s.unexpected_hwm,
+              s.posted, s.unexpected, s.posted_buckets, s.unexpected_buckets, s.posted_max_chain,
+              s.unexpected_max_chain, static_cast<unsigned long long>(s.scan_steps));
+}
+
+/// Drives a window-deep burst workload through each stack's matching engine
+/// and reports occupancy: `--window` messages posted-first then `--window`
+/// unexpected-first per iteration, so both the posted store and the
+/// unexpected store reach their per-iteration high-watermarks. One row per
+/// stack: raw UCX workers, the Charm++ machine layer's device-metadata path
+/// (DeviceComm), and the AMPI (src, tag, comm) queues.
+int runMatch(const Args& a) {
+  const int nodes = a.nodes < 2 ? 2 : a.nodes;
+  const int window = a.window < 1 ? 1 : a.window;
+  const int iters = a.iters < 1 ? 1 : a.iters;
+  std::printf(
+      "stack,posted_hwm,unexpected_hwm,posted,unexpected,posted_buckets,"
+      "unexpected_buckets,posted_max_chain,unexpected_max_chain,scan_steps\n");
+
+  const auto tagOf = [](int it, int i) { return static_cast<ucx::Tag>(it * 100000 + i); };
+
+  {  // raw UCX worker
+    model::Model m = model::summit(nodes);
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    std::vector<std::byte> src(256), dst(256);
+    for (int it = 0; it < iters; ++it) {
+      for (int i = 0; i < window; ++i) {
+        ctx.worker(6).tagRecv(dst.data(), 256, tagOf(it, i), ucx::kFullMask, {});
+      }
+      for (int i = 0; i < window; ++i) ctx.tagSend(0, 6, src.data(), 256, tagOf(it, i), {});
+      sys.engine.run();
+      for (int i = 0; i < window; ++i) {
+        ctx.tagSend(0, 6, src.data(), 256, tagOf(it, window + i), {});
+      }
+      sys.engine.run();
+      for (int i = 0; i < window; ++i) {
+        ctx.worker(6).tagRecv(dst.data(), 256, tagOf(it, window + i), ucx::kFullMask, {});
+      }
+      sys.engine.run();
+    }
+    printMatchRow("ucx", ctx.matchStats());
+  }
+
+  {  // Charm++ machine layer: GPU transfers whose metadata receives ride
+     // Worker::tagRecv under a full mask
+    model::Model m = model::summit(nodes);
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    cmi::Converse cmi(sys, ctx, m.costs);
+    core::DeviceComm dev(cmi);
+    cuda::DeviceBuffer sbuf(sys, 0, 8192), dbuf(sys, 6, 8192);
+    for (int it = 0; it < iters; ++it) {
+      for (int i = 0; i < window; ++i) {
+        cmi.runOn(0, [&dev, &cmi, &sbuf, &dbuf] {
+          core::CmiDeviceBuffer buf{sbuf.get(), 8192, 0};
+          dev.lrtsSendDevice(0, 6, buf);
+          const auto device_tag = buf.tag;
+          cmi.runOn(6, [&dev, &dbuf, device_tag] {
+            dev.lrtsRecvDevice(6, core::DeviceRdmaOp{dbuf.get(), 8192, device_tag},
+                               core::DeviceRecvType::Charm, {});
+          });
+        });
+      }
+      sys.engine.run();
+    }
+    printMatchRow("charm", dev.matchStats());
+  }
+
+  {  // AMPI: (src, tag, comm) matching over the bucketed rank queues
+    model::Model m = model::summit(nodes);
+    hw::System sys(m.machine);
+    ucx::Context ctx(sys, m.ucx);
+    ck::Runtime rt(sys, ctx, m);
+    ampi::World world(rt);
+    std::vector<std::byte> src(256), dst(256);
+    world.run([&](ampi::Rank& r) -> sim::FutureTask {
+      if (r.rank() == 0) {
+        for (int it = 0; it < iters; ++it) {
+          std::vector<ampi::Request> reqs;
+          reqs.reserve(static_cast<std::size_t>(window));
+          for (int i = 0; i < window; ++i) reqs.push_back(r.isend(src.data(), 256, 1, i));
+          for (auto& q : reqs) co_await r.wait(q);
+        }
+      } else if (r.rank() == 1) {
+        for (int it = 0; it < iters; ++it) {
+          std::vector<ampi::Request> reqs;
+          reqs.reserve(static_cast<std::size_t>(window));
+          for (int i = 0; i < window; ++i) reqs.push_back(r.irecv(dst.data(), 256, 0, i));
+          for (auto& q : reqs) co_await r.wait(q);
+        }
+      }
+      co_return;
+    });
+    sys.engine.run();
+    if (!world.done().ready()) {
+      std::fprintf(stderr, "match: AMPI workload deadlocked\n");
+      return 1;
+    }
+    printMatchRow("ampi", world.matchStats());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,5 +334,6 @@ int main(int argc, char** argv) {
   if (a.metric == "latency" || a.metric == "bandwidth") return runMicro(a);
   if (a.metric == "jacobi") return runJacobi(a);
   if (a.metric == "loss") return runLoss(a);
+  if (a.metric == "match") return runMatch(a);
   usage(argv[0]);
 }
