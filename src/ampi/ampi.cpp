@@ -1,6 +1,7 @@
 #include "ampi/ampi.hpp"
 
 #include "coll/coll.hpp"
+#include "obs/span.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -47,13 +48,15 @@ struct World::RankChare : ck::Chare {
   }
 
   void recvInline(std::uint32_t src_rank, std::int32_t tag, std::int32_t comm,
-                  std::uint32_t seq, std::vector<std::byte> data, std::uint8_t data_valid) {
+                  std::uint32_t seq, std::vector<std::byte> data, std::uint8_t data_valid,
+                  std::uint64_t span) {
     Envelope env;
     env.src_rank = static_cast<int>(src_rank);
     env.tag = tag;
     env.comm = comm;
     env.bytes = data.size();
     env.seq = seq;
+    env.span = span;
     env.inlined = true;
     env.data = std::move(data);
     env.data_valid = data_valid != 0;
@@ -293,11 +296,20 @@ Request World::isendImpl(int src_rank, const void* buf, std::uint64_t bytes, int
     std::vector<std::byte> data = rt_.cmi().ucx().takeBuffer(bytes);
     const bool valid = rt_.system().memory.dereferenceable(buf);
     if (valid && bytes > 0) std::memcpy(data.data(), buf, bytes);
+    // Inline messages bypass the machine layer, so the span is minted here
+    // and rides in the message itself (0 when observability is off).
+    std::uint64_t span = 0;
+    obs::SpanCollector& spans = rt_.system().obs.spans;
+    if (spans.enabled()) {
+      const sim::TimePoint now = rt_.system().engine.now();
+      span = spans.begin(now, st.pe, dst_st.pe, bytes, "ampi");
+      spans.phase(span, now, obs::Phase::MetaSent, st.pe, bytes);
+    }
     dst_st.chare.sendFrom<&RankChare::recvInline>(st.pe, static_cast<std::uint32_t>(src_rank),
                                                   static_cast<std::int32_t>(tag),
                                                   static_cast<std::int32_t>(comm), seq,
                                                   std::move(data),
-                                                  static_cast<std::uint8_t>(valid ? 1 : 0));
+                                                  static_cast<std::uint8_t>(valid ? 1 : 0), span);
     // Buffered semantics: the send completes once the local copy retires.
     auto impl = req.impl_;
     pe.exec(0, [impl, sent_status] { impl->complete(sent_status); });
@@ -330,6 +342,10 @@ Request World::irecvImpl(int dst_rank, void* buf, std::uint64_t bytes, int src, 
               });
   if (hit != kNil) {
     Envelope env = st.unexpected.take(hit);
+    if (env.inlined) {
+      rt_.system().obs.spans.phase(env.span, rt_.system().engine.now(),
+                                   obs::Phase::MatchedUnexpected, st.pe, env.bytes);
+    }
     deliver(dst_rank, p, env);
     return req;
   }
@@ -346,6 +362,12 @@ void World::enqueueEnvelope(int dst_rank, Envelope env) {
   // Restore per-source FIFO order: envelopes may overtake each other in the
   // network when eager and rendezvous paths mix; MPI matching order must not.
   RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  {
+    // Metadata (or the whole inline message) has reached the receiver.
+    obs::SpanCollector& spans = rt_.system().obs.spans;
+    const std::uint64_t sp = env.inlined ? env.span : spans.spanForTag(env.dtag);
+    spans.phase(sp, rt_.system().engine.now(), obs::Phase::MetaArrived, st.pe, env.bytes);
+  }
   auto& expected = st.seq_expected[static_cast<std::size_t>(env.src_rank)];
   auto& stash = st.out_of_order[static_cast<std::size_t>(env.src_rank)];
   if (env.seq != expected) {
@@ -391,8 +413,18 @@ void World::processEnvelope(int dst_rank, Envelope env) {
         ex != kNil && (wi == kNil || st.posted_exact.seqOf(ex) < st.posted_wild.seqOf(wi));
     PostedRecv p =
         exact_wins ? st.posted_exact.take(ex) : st.posted_wild.take(wi);
+    if (env.inlined) {
+      rt_.system().obs.spans.phase(env.span, rt_.system().engine.now(),
+                                   obs::Phase::MatchedPosted, st.pe, env.bytes);
+    }
     deliver(dst_rank, p, env);
     return;
+  }
+  if (env.inlined) {
+    // Inline payload arrived before its receive was posted: the AMPI-level
+    // analogue of the machine layer's early-arrival wait.
+    rt_.system().obs.spans.phase(env.span, rt_.system().engine.now(), obs::Phase::EarlyArrival,
+                                 st.pe, env.bytes);
   }
   const std::uint64_t key = matchKey(env.src_rank, env.tag, env.comm);
   st.unexpected.push(key, st.match_seq++, std::move(env));
@@ -417,8 +449,12 @@ void World::deliver(int dst_rank, PostedRecv& p, Envelope& env) {
     rt_.cmi().ucx().recycleBuffer(std::move(env.data));
     const double copy_us =
         (static_cast<double>(env.bytes) / 1e3) / rt_.system().config.host_memcpy_gbps;
-    pe.exec(sim::usec(costs.ampi_overhead_recv_us + copy_us),
-            [impl, status] { impl->complete(status); });
+    const sim::Duration d = sim::usec(costs.ampi_overhead_recv_us + copy_us);
+    // Close at the future completion time (when the copy retires) so the
+    // span's extent matches what the request observes.
+    rt_.system().obs.spans.end(env.span, rt_.system().engine.now() + d, obs::Phase::Completed,
+                               st.pe);
+    pe.exec(d, [impl, status] { impl->complete(status); });
     return;
   }
 

@@ -278,6 +278,11 @@ class World {
     int comm = 0;
     std::uint64_t bytes = 0;
     std::uint64_t dtag = 0;  ///< machine-layer tag (rendezvous modes)
+    /// Lifecycle span of an inlined (eager) message; 0 when observability is
+    /// off. Rendezvous envelopes correlate through `dtag` instead, so this
+    /// stays 0 for them. Carried unconditionally so message contents do not
+    /// depend on observability state.
+    std::uint64_t span = 0;
     std::uint32_t seq = 0;
     bool inlined = false;
     std::vector<std::byte> data;  ///< payload for inlined envelopes

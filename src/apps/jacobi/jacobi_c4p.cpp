@@ -88,6 +88,7 @@ JacobiResult runC4p(const JacobiConfig& cfg, std::vector<double>* out) {
   m.machine.num_nodes = cfg.nodes;
   m.machine.backed_device_memory = cfg.backed;
   hw::System sys(m.machine);
+  if (cfg.observe) sys.obs.spans.enable();
   ucx::Context ctx(sys, m.ucx);
   ck::Runtime rt(sys, ctx, m);
   c4p::Charm4py py(rt);
@@ -118,6 +119,7 @@ JacobiResult runC4p(const JacobiConfig& cfg, std::vector<double>* out) {
     py.startOn(p, [&env, p] { (void)blockMain(&env, p); });
   }
   sys.engine.run();
+  if (cfg.inspect) cfg.inspect(sys);
 
   JacobiResult res;
   res.dec = env.dec;

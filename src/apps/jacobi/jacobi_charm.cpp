@@ -150,6 +150,7 @@ JacobiResult runCharm(const JacobiConfig& cfg, std::vector<double>* out) {
   m.machine.num_nodes = cfg.nodes;
   m.machine.backed_device_memory = cfg.backed;
   hw::System sys(m.machine);
+  if (cfg.observe) sys.obs.spans.enable();
   ucx::Context ctx(sys, m.ucx);
   ck::Runtime rt(sys, ctx, m);
 
@@ -173,6 +174,7 @@ JacobiResult runCharm(const JacobiConfig& cfg, std::vector<double>* out) {
     rt.startOn(c->b->pe, [c] { c->startIter(); });
   }
   sys.engine.run();
+  if (cfg.inspect) cfg.inspect(sys);
 
   JacobiResult res;
   res.dec = env.dec;

@@ -89,6 +89,7 @@ JacobiResult runMpi(const JacobiConfig& cfg, std::vector<double>* out) {
   m.machine.num_nodes = cfg.nodes;
   m.machine.backed_device_memory = cfg.backed;
   hw::System sys(m.machine);
+  if (cfg.observe) sys.obs.spans.enable();
   ucx::Context ctx(sys, m.ucx);
 
   MpiEnv env;
@@ -107,6 +108,7 @@ JacobiResult runMpi(const JacobiConfig& cfg, std::vector<double>* out) {
       return jacobiMain<ampi::Rank, ampi::Request>(&r, &env);
     });
     sys.engine.run();
+    if (cfg.inspect) cfg.inspect(sys);
     return finish(cfg, env, out);
   }
   ompi::World world(sys, ctx, m.costs);
@@ -114,6 +116,7 @@ JacobiResult runMpi(const JacobiConfig& cfg, std::vector<double>* out) {
     return jacobiMain<ompi::Rank, ompi::Request>(&r, &env);
   });
   sys.engine.run();
+  if (cfg.inspect) cfg.inspect(sys);
   return finish(cfg, env, out);
 }
 

@@ -1,10 +1,15 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "model/model.hpp"
+
+namespace cux::hw {
+struct System;
+}
 
 /// \file osu.hpp
 /// GPU-adapted OSU micro-benchmarks (paper Section IV-B), implemented for
@@ -41,6 +46,14 @@ struct BenchConfig {
   int warmup = 10;
   int window = 64;  ///< bandwidth only
   model::Model model = model::summit(2);
+  /// Enable message-lifecycle span collection on the simulated machine
+  /// (`gpucomm_sweep --metric breakdown`). Off by default: spans allocate
+  /// and benchmarks are also used as allocation/determinism baselines.
+  bool observe = false;
+  /// Called with the simulated machine after the benchmark's engine run
+  /// finishes, before teardown — the hook for reading spans/metrics out of a
+  /// data point (each point runs on a fresh machine).
+  std::function<void(hw::System&)> inspect;
 };
 
 /// Message sizes of the paper's figures: 1 B to 4 MB, powers of two.

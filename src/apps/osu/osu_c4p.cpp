@@ -123,6 +123,7 @@ struct C4pFixture {
     model::Model m = cfg.model;
     m.machine.backed_device_memory = false;
     sys = std::make_unique<hw::System>(m.machine);
+    if (cfg.observe) sys->obs.spans.enable();
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
     py = std::make_unique<c4p::Charm4py>(*rt);
@@ -160,6 +161,7 @@ double c4pLatency(const BenchConfig& cfg, std::size_t bytes) {
   f.py->startOn(f.env.pes[0], [&] { (void)c4pLatencyMain(&f.env, 0); });
   f.py->startOn(f.env.pes[1], [&] { (void)c4pLatencyMain(&f.env, 1); });
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return f.env.result;
 }
 
@@ -168,6 +170,7 @@ double c4pBandwidth(const BenchConfig& cfg, std::size_t bytes) {
   f.py->startOn(f.env.pes[0], [&] { (void)c4pBandwidthMain(&f.env, 0); });
   f.py->startOn(f.env.pes[1], [&] { (void)c4pBandwidthMain(&f.env, 1); });
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return f.env.result;
 }
 

@@ -151,6 +151,7 @@ struct CharmFixture {
     model::Model m = cfg.model;
     m.machine.backed_device_memory = false;
     sys = std::make_unique<hw::System>(m.machine);
+    if (cfg.observe) sys->obs.spans.enable();
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
 
@@ -189,6 +190,7 @@ double charmLatency(const BenchConfig& cfg, std::size_t bytes) {
   CharmFixture f(cfg, bytes);
   f.rt->startOn(f.client.pe(), [&] { f.client.local()->latStart(); });
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return f.env.result;
 }
 
@@ -196,6 +198,7 @@ double charmBandwidth(const BenchConfig& cfg, std::size_t bytes) {
   CharmFixture f(cfg, bytes);
   f.rt->startOn(f.client.pe(), [&] { f.client.local()->bwStart(); });
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return f.env.result;
 }
 

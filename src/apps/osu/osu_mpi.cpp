@@ -211,6 +211,7 @@ struct MpiFixture {
     model::Model m = cfg.model;
     m.machine.backed_device_memory = false;  // timing-only buffers
     sys = std::make_unique<hw::System>(m.machine);
+    if (cfg.observe) sys->obs.spans.enable();
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     if (cfg.stack == Stack::Ampi) {
       rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
@@ -262,6 +263,7 @@ double mpiLatency(const BenchConfig& cfg, std::size_t bytes) {
         [&env](ompi::Rank& r) -> sim::FutureTask { return latencyMain(&r, &env); });
   }
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return env.result_us;
 }
 
@@ -279,6 +281,7 @@ double mpiBiBandwidth(const BenchConfig& cfg, std::size_t bytes) {
     });
   }
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return env.result_us;
 }
 
@@ -302,6 +305,7 @@ double mpiMultiLatency(const BenchConfig& cfg, std::size_t bytes) {
         [&env](ompi::Rank& r) -> sim::FutureTask { return multiLatencyMain(&r, &env); });
   }
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   double sum = 0;
   for (int p = 0; p < n_ranks / 2; ++p) sum += env.one_way_us[static_cast<std::size_t>(p)];
   return sum / (n_ranks / 2);
@@ -321,6 +325,7 @@ double mpiBandwidth(const BenchConfig& cfg, std::size_t bytes) {
     });
   }
   f.sys->engine.run();
+  if (cfg.inspect) cfg.inspect(*f.sys);
   return env.result_us;
 }
 

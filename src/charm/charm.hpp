@@ -15,6 +15,7 @@
 #include "converse/converse.hpp"
 #include "core/device_comm.hpp"
 #include "model/model.hpp"
+#include "obs/span.hpp"
 
 /// \file charm.hpp
 /// The Charm++-like runtime: chares, typed entry-method invocation, post
@@ -339,6 +340,11 @@ void entryThunk(Runtime& rt, int pe, Chare* obj, std::shared_ptr<cmi::Message> m
     b.internalSetSize(size);
     if (mode == Buffer::Mode::Rndv) {
       b.internalSetTag(u.unpack<std::uint64_t>());
+      // Metadata carrying this device tag has reached the receiving PE; the
+      // gap to the lrtsRecvDevice below is the paper's recv-post delay.
+      obs::SpanCollector& spans = rt.system().obs.spans;
+      spans.phase(spans.spanForTag(b.tag()), rt.system().engine.now(),
+                  obs::Phase::MetaArrived, pe, b.size());
     } else {
       packed.emplace_back(i, u.offset());
       u.skip(size);

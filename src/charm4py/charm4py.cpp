@@ -16,10 +16,11 @@ struct Charm4py::PerPeChare : ck::Chare {
   void chanMsg(std::uint64_t chan, std::uint8_t dst_side, std::uint64_t bytes,
                std::uint64_t dtag, std::uint32_t seq, std::uint8_t inlined,
                std::vector<std::byte> data, std::uint8_t src_host,
-               std::uint8_t data_valid) {
+               std::uint8_t data_valid, std::uint64_t span) {
     Envelope env;
     env.bytes = bytes;
     env.dtag = dtag;
+    env.span = span;
     env.seq = seq;
     env.inlined = inlined != 0;
     env.data = std::move(data);
@@ -165,15 +166,24 @@ sim::Future<void> Charm4py::sendImpl(ChannelEnd& end, const void* buf, std::uint
     chares_[static_cast<std::size_t>(peer->pe_)].sendFrom<&PerPeChare::chanMsg>(
         src_pe, end.chan_, static_cast<std::uint8_t>(dst_side), bytes, cdb.tag, seq,
         std::uint8_t{0}, std::vector<std::byte>{},
-        static_cast<std::uint8_t>(device ? 0 : 1), std::uint8_t{1});
+        static_cast<std::uint8_t>(device ? 0 : 1), std::uint8_t{1}, std::uint64_t{0});
   } else {
     std::vector<std::byte> data(bytes);
     const bool valid = rt_.system().memory.dereferenceable(buf);
     if (valid && bytes > 0) std::memcpy(data.data(), buf, bytes);
+    // Inline messages bypass the machine layer: mint the span here and ship
+    // it inside the message (0 when observability is off).
+    std::uint64_t span = 0;
+    obs::SpanCollector& spans = rt_.system().obs.spans;
+    if (spans.enabled()) {
+      const sim::TimePoint now = rt_.system().engine.now();
+      span = spans.begin(now, src_pe, peer->pe_, bytes, "charm4py");
+      spans.phase(span, now, obs::Phase::MetaSent, src_pe, bytes);
+    }
     chares_[static_cast<std::size_t>(peer->pe_)].sendFrom<&PerPeChare::chanMsg>(
         src_pe, end.chan_, static_cast<std::uint8_t>(dst_side), bytes, std::uint64_t{0}, seq,
         std::uint8_t{1}, std::move(data), std::uint8_t{1},
-        static_cast<std::uint8_t>(valid ? 1 : 0));
+        static_cast<std::uint8_t>(valid ? 1 : 0), span);
     pe.exec(0, [done] { done.set(); });
   }
   return done.future();
@@ -190,35 +200,51 @@ sim::Future<void> Charm4py::recvImpl(ChannelEnd& end, void* buf, std::uint64_t b
   pending.capacity = bytes;
   auto fut = pending.done.future();
   st.waiting.push_back(std::move(pending));
-  matchOne(end.pe_, st);
+  matchOne(end.pe_, st, obs::Phase::MatchedUnexpected);
   return fut;
 }
 
 void Charm4py::onEnvelope(int pe, std::uint64_t chan, int side, Envelope env) {
   EndpointState& st = endpoint(chan, side);
+  {
+    // Metadata (or the whole inline message) has reached the receiver.
+    obs::SpanCollector& spans = rt_.system().obs.spans;
+    const std::uint64_t sp = env.inlined ? env.span : spans.spanForTag(env.dtag);
+    spans.phase(sp, rt_.system().engine.now(), obs::Phase::MetaArrived, pe, env.bytes);
+  }
   if (env.seq != st.seq_expected) {
     st.out_of_order.push_back(std::move(env));
     return;
   }
+  // Channel matching is strictly FIFO: an envelope entering `arrived` behind
+  // more backlog than there are waiting receives has no receive posted for
+  // it yet — the inline analogue of the machine layer's early-arrival wait.
+  auto noteArrived = [this, pe, &st](Envelope&& e) {
+    if (e.inlined && st.waiting.size() <= st.arrived.size()) {
+      rt_.system().obs.spans.phase(e.span, rt_.system().engine.now(), obs::Phase::EarlyArrival,
+                                   pe, e.bytes);
+    }
+    st.arrived.push_back(std::move(e));
+  };
   ++st.seq_expected;
-  st.arrived.push_back(std::move(env));
+  noteArrived(std::move(env));
   bool found = true;
   while (found) {
     found = false;
     for (auto it = st.out_of_order.begin(); it != st.out_of_order.end(); ++it) {
       if (it->seq == st.seq_expected) {
         ++st.seq_expected;
-        st.arrived.push_back(std::move(*it));
+        noteArrived(std::move(*it));
         st.out_of_order.erase(it);
         found = true;
         break;
       }
     }
   }
-  matchOne(pe, st);
+  matchOne(pe, st, obs::Phase::MatchedPosted);
 }
 
-void Charm4py::matchOne(int pe, EndpointState& st) {
+void Charm4py::matchOne(int pe, EndpointState& st, obs::Phase matched) {
   while (!st.arrived.empty() && !st.waiting.empty()) {
     Envelope env = std::move(st.arrived.front());
     st.arrived.pop_front();
@@ -236,7 +262,14 @@ void Charm4py::matchOne(int pe, EndpointState& st) {
       }
       const double py_copy_us =
           (static_cast<double>(env.bytes) / 1e3) / costs.py_host_copy_gbps;
-      cpu.exec(sim::usec(costs.py_wakeup_us + py_copy_us), [done] { done.set(); });
+      const sim::Duration d = sim::usec(costs.py_wakeup_us + py_copy_us);
+      obs::SpanCollector& spans = rt_.system().obs.spans;
+      const sim::TimePoint now = rt_.system().engine.now();
+      spans.phase(env.span, now, matched, pe, env.bytes);
+      // Close at the future wake-up time so the span extent matches what the
+      // receiving coroutine observes.
+      spans.end(env.span, now + d, obs::Phase::Completed, pe);
+      cpu.exec(d, [done] { done.set(); });
     } else {
       cmi::Pe* cpu_ptr = &cpu;
       // Host zero-copy payloads are still copied out through the Python

@@ -10,6 +10,7 @@
 
 #include "charm/charm.hpp"
 #include "hw/cuda.hpp"
+#include "obs/span.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
 
@@ -122,6 +123,10 @@ class Charm4py {
   struct Envelope {
     std::uint64_t bytes = 0;
     std::uint64_t dtag = 0;
+    /// Lifecycle span of an inlined message (0 when observability is off);
+    /// device-path envelopes correlate through `dtag` instead. Carried
+    /// unconditionally so message contents do not depend on observability.
+    std::uint64_t span = 0;
     std::uint32_t seq = 0;
     bool inlined = false;
     std::vector<std::byte> data;
@@ -150,7 +155,11 @@ class Charm4py {
   sim::Future<void> sendImpl(ChannelEnd& end, const void* buf, std::uint64_t bytes);
   sim::Future<void> recvImpl(ChannelEnd& end, void* buf, std::uint64_t bytes);
   void onEnvelope(int pe, std::uint64_t chan, int side, Envelope env);
-  void matchOne(int pe, EndpointState& st);
+  /// `matched` is the span phase recorded for inlined envelopes consumed by
+  /// this pass: MatchedPosted when called from onEnvelope (a receive was
+  /// already waiting), MatchedUnexpected when called from recvImpl (the
+  /// envelope arrived first).
+  void matchOne(int pe, EndpointState& st, obs::Phase matched);
   EndpointState& endpoint(std::uint64_t chan, int side);
   void sendInvoke(int from_pe, int target_pe, std::uint64_t id);
 

@@ -4,8 +4,47 @@
 
 namespace cux::core {
 
+namespace {
+
+/// Span kind label for the model that issued the transfer (static strings —
+/// stored by pointer in SpanInfo).
+[[nodiscard]] const char* spanKind(DeviceRecvType t) noexcept {
+  switch (t) {
+    case DeviceRecvType::Charm:
+      return "charm";
+    case DeviceRecvType::Ampi:
+      return "ampi";
+    case DeviceRecvType::Charm4py:
+      return "charm4py";
+    case DeviceRecvType::Raw:
+      return "raw";
+  }
+  return "?";
+}
+
+}  // namespace
+
 DeviceComm::DeviceComm(cmi::Converse& cmi)
-    : cmi_(cmi), counters_(static_cast<std::size_t>(cmi.numPes()), 0) {}
+    : cmi_(cmi), counters_(static_cast<std::size_t>(cmi.numPes()), 0) {
+  obs::Observability& obs = cmi_.system().obs;
+  send_bytes_hist_ = obs.registry.histogram("lrts.send_bytes");
+  stats_provider_ = obs.addStatsProvider([this](obs::Registry& r) {
+    r.setGauge("lrts.device_sends", device_sends_);
+    r.setGauge("lrts.fallbacks", fallbacks_);
+    r.setGauge("lrts.recv_reposts", recv_reposts_);
+    r.setGauge("lrts.acks_lost", acks_lost_);
+    r.setGauge("lrts.sends.charm", sendsByType(DeviceRecvType::Charm));
+    r.setGauge("lrts.sends.ampi", sendsByType(DeviceRecvType::Ampi));
+    r.setGauge("lrts.sends.charm4py", sendsByType(DeviceRecvType::Charm4py));
+    r.setGauge("lrts.sends.raw", sendsByType(DeviceRecvType::Raw));
+    r.setGauge("lrts.recvs.charm", recvsByType(DeviceRecvType::Charm));
+    r.setGauge("lrts.recvs.ampi", recvsByType(DeviceRecvType::Ampi));
+    r.setGauge("lrts.recvs.charm4py", recvsByType(DeviceRecvType::Charm4py));
+    r.setGauge("lrts.recvs.raw", recvsByType(DeviceRecvType::Raw));
+  });
+}
+
+DeviceComm::~DeviceComm() { cmi_.system().obs.removeStatsProvider(stats_provider_); }
 
 void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
                            std::uint64_t tag, std::function<void()> on_complete) {
@@ -16,6 +55,8 @@ void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_
     startFallback(src_pe, dst_pe, ptr, size, tag, std::move(on_complete), "link-down");
     return;
   }
+  sys.obs.spans.phase(sys.obs.spans.spanForTag(tag), sys.engine.now(), obs::Phase::PayloadSent,
+                      src_pe, size);
   cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag,
                      [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)](
                          ucx::Request& r) {
@@ -39,6 +80,8 @@ void DeviceComm::startFallback(int src_pe, int dst_pe, const void* ptr, std::uin
   ++fallbacks_;
   hw::System& sys = cmi_.system();
   sys.trace.record(sys.engine.now(), sim::TraceCat::Fallback, src_pe, dst_pe, size, tag, why);
+  sys.obs.spans.phase(sys.obs.spans.spanForTag(tag), sys.engine.now(), obs::Phase::Fallback,
+                      src_pe, size);
   // Graceful degradation: stage the device buffer to the host and resend as
   // a plain host message under the SAME tag, so the posted (or re-posted)
   // receive still matches — the transfer recovers, only the timing suffers.
@@ -53,6 +96,10 @@ void DeviceComm::startFallback(int src_pe, int dst_pe, const void* ptr, std::uin
           hw::System& sys = cmi_.system();
           sys.trace.record(sys.engine.now(), sim::TraceCat::Drop, src_pe, dst_pe, size, tag,
                            "fallback-failed");
+          // Terminal even for the degraded route: the span can never
+          // complete — close it as errored so no span is left orphaned.
+          sys.obs.spans.end(sys.obs.spans.spanForTag(tag), sys.engine.now(),
+                            obs::Phase::Errored, src_pe);
           return;
         }
         if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
@@ -71,6 +118,23 @@ void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
   counter = (counter + 1) % tags.cntModulus();
   ++device_sends_;
   ++sends_by_type_[static_cast<std::size_t>(recv_type)];
+  cmi_.system().obs.registry.observe(send_bytes_hist_, buf.size);
+
+  // Span begins here: the machine layer mints the tag, so this is the first
+  // point the whole lifecycle can be correlated. The model layers attach
+  // their own phases afterwards through the tag (or the envelope-carried
+  // span id on inline paths).
+  obs::SpanCollector& spans = cmi_.system().obs.spans;
+  if (spans.enabled()) {
+    const sim::TimePoint now = cmi_.system().engine.now();
+    const std::uint64_t span = spans.begin(now, src_pe, dst_pe, buf.size, spanKind(recv_type));
+    spans.bindTag(span, buf.tag);
+    if (recv_type != DeviceRecvType::Raw) {
+      // The model layer ships the metadata message synchronously after this
+      // call returns (same engine timestamp).
+      spans.phase(span, now, obs::Phase::MetaSent, src_pe, buf.size);
+    }
+  }
 
   cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
                              dst_pe, buf.size, buf.tag,
@@ -98,6 +162,16 @@ void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& 
   buf.tag = tags.make(MsgType::DeviceUser, user_tag >> tags.cnt_bits, user_tag);
   ++device_sends_;
   ++sends_by_type_[static_cast<std::size_t>(recv_type)];
+  cmi_.system().obs.registry.observe(send_bytes_hist_, buf.size);
+  obs::SpanCollector& spans = cmi_.system().obs.spans;
+  if (spans.enabled()) {
+    // User-tag receives are pre-posted (before any span exists), so these
+    // spans have no RecvPosted/post-delay phase — by construction the
+    // scheme eliminates it (paper Sec. VI).
+    const std::uint64_t span =
+        spans.begin(cmi_.system().engine.now(), src_pe, dst_pe, buf.size, "user-tag");
+    spans.bindTag(span, buf.tag);
+  }
   cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsSend, src_pe,
                              dst_pe, buf.size, buf.tag, "device-user-tag");
   cmi::Pe& pe = cmi_.pe(src_pe);
@@ -130,6 +204,11 @@ void DeviceComm::lrtsRecvDevice(int pe_id, const DeviceRdmaOp& op, DeviceRecvTyp
   ++recvs_by_type_[static_cast<std::size_t>(type)];
   cmi_.system().trace.record(cmi_.system().engine.now(), sim::TraceCat::LrtsRecv, pe_id, -1,
                              op.size, op.tag, "");
+  // The paper's delayed-receive limitation, now measurable: the gap between
+  // the metadata's MetaArrived and this RecvPosted is the post-delay.
+  obs::SpanCollector& spans = cmi_.system().obs.spans;
+  spans.phase(spans.spanForTag(op.tag), cmi_.system().engine.now(), obs::Phase::RecvPosted,
+              pe_id, op.size);
   cmi::Pe& pe = cmi_.pe(pe_id);
   pe.charge(sim::usec(cmi_.costs().device_meta_recv_us));
   postDeviceRecv(pe_id, op, std::move(on_complete));
@@ -154,9 +233,17 @@ void DeviceComm::postDeviceRecv(int pe_id, const DeviceRdmaOp& op,
             hw::System& sys = cmi_.system();
             sys.trace.record(sys.engine.now(), sim::TraceCat::Retry, pe_id, r.peer_pe, op.size,
                              op.tag, "recv-repost");
+            sys.obs.spans.phase(sys.obs.spans.spanForTag(op.tag), sys.engine.now(),
+                                obs::Phase::RecvRepost, pe_id, op.size);
             postDeviceRecv(pe_id, op, cb);
             return;
           }
+          // Span terminal: data delivered at the machine layer (the model
+          // layer's own callback cost comes after and is not part of the
+          // wire lifecycle).
+          hw::System& sys = cmi_.system();
+          sys.obs.spans.end(sys.obs.spans.spanForTag(op.tag), sys.engine.now(),
+                            obs::Phase::Completed, pe_id);
           if (cb) cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
         });
   });

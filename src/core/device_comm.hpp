@@ -6,6 +6,7 @@
 
 #include "converse/converse.hpp"
 #include "core/tag_scheme.hpp"
+#include "obs/registry.hpp"
 
 /// \file device_comm.hpp
 /// The paper's primary contribution: the GPU-aware extension of the UCX
@@ -43,6 +44,9 @@ enum class DeviceRecvType : std::uint8_t { Charm, Ampi, Charm4py, Raw };
 class DeviceComm {
  public:
   explicit DeviceComm(cmi::Converse& cmi);
+  ~DeviceComm();
+  DeviceComm(const DeviceComm&) = delete;
+  DeviceComm& operator=(const DeviceComm&) = delete;
 
   [[nodiscard]] cmi::Converse& converse() noexcept { return cmi_; }
 
@@ -141,6 +145,8 @@ class DeviceComm {
 
   cmi::Converse& cmi_;
   std::vector<std::uint64_t> counters_;  // per-PE tag counters
+  int stats_provider_ = 0;               ///< obs registry handle (dtor deregisters)
+  obs::Registry::Id send_bytes_hist_ = 0;
   std::uint64_t device_sends_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t recv_reposts_ = 0;

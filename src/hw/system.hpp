@@ -1,8 +1,11 @@
 #pragma once
 
+#include <ostream>
+
 #include "hw/config.hpp"
 #include "hw/machine.hpp"
 #include "hw/memory.hpp"
+#include "obs/observability.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -19,15 +22,34 @@ struct System {
   MemoryRegistry memory;
   sim::Tracer trace;          ///< off by default; enable() to record timelines
   sim::FaultInjector fault;   ///< off by default; configured from config.fault
+  obs::Observability obs;     ///< spans + metrics registry; spans off by default
 
   explicit System(const MachineConfig& cfg = {}) : config(cfg), machine(config) {
     fault.configure(config.fault);
+    // The System-level stats publish through the same registry as every
+    // layer above; providers run only at snapshot time, so this costs
+    // nothing on the simulation hot path.
+    obs.addStatsProvider([this](obs::Registry& r) {
+      r.setGauge("engine.events_processed", engine.eventsProcessed());
+      r.setGauge("engine.events_scheduled", engine.eventsScheduled());
+      r.setGauge("fault.decisions", fault.decisions());
+      r.setGauge("fault.drops_injected", fault.dropsInjected());
+      r.setGauge("fault.delays_injected", fault.delaysInjected());
+      r.setGauge("trace.records", trace.records().size());
+      r.setGauge("trace.dropped", trace.dropped());
+      r.setGauge("obs.spans_begun", obs.spans.begun());
+      r.setGauge("obs.spans_open", obs.spans.openCount());
+    });
   }
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
   [[nodiscard]] sim::TimePoint now() const noexcept { return engine.now(); }
+
+  /// Snapshot/dump of every registered layer's stats (see obs::Observability).
+  void dumpStats(std::ostream& os) { obs.dump(os); }
+  void dumpStatsJson(std::ostream& os) { obs.dumpJson(os); }
 };
 
 }  // namespace cux::hw

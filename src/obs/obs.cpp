@@ -1,0 +1,83 @@
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace cux::obs {
+
+const char* name(Phase p) {
+  switch (p) {
+    case Phase::ApiSend:
+      return "api-send";
+    case Phase::MetaSent:
+      return "meta-sent";
+    case Phase::MetaArrived:
+      return "meta-arrived";
+    case Phase::RecvPosted:
+      return "recv-posted";
+    case Phase::PayloadSent:
+      return "payload-sent";
+    case Phase::EarlyArrival:
+      return "early-arrival";
+    case Phase::MatchedPosted:
+      return "matched-posted";
+    case Phase::MatchedUnexpected:
+      return "matched-unexpected";
+    case Phase::RndvData:
+      return "rndv-data";
+    case Phase::RndvAts:
+      return "rndv-ats";
+    case Phase::Retry:
+      return "retry";
+    case Phase::Fallback:
+      return "fallback";
+    case Phase::RecvRepost:
+      return "recv-repost";
+    case Phase::Completed:
+      return "completed";
+    case Phase::Errored:
+      return "errored";
+    case Phase::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+void Registry::dumpText(std::ostream& os) const {
+  for (const Scalar& c : counters_) os << "counter " << c.name << ' ' << c.value << '\n';
+  for (const Scalar& g : gauges_) os << "gauge " << g.name << ' ' << g.value << '\n';
+  for (const Hist& h : hists_) {
+    os << "histogram " << h.name << " count " << h.count << " sum " << h.sum << '\n';
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (h.buckets[b] != 0) {
+        os << "histogram " << h.name << " bucket " << b << ' ' << h.buckets[b] << '\n';
+      }
+    }
+  }
+}
+
+void Registry::dumpJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i ? "," : "") << '"' << counters_[i].name << "\":" << counters_[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    os << (i ? "," : "") << '"' << gauges_[i].name << "\":" << gauges_[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    const Hist& h = hists_[i];
+    os << (i ? "," : "") << '"' << h.name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"buckets\":{";
+    bool first = true;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (h.buckets[b] != 0) {
+        os << (first ? "" : ",") << '"' << b << "\":" << h.buckets[b];
+        first = false;
+      }
+    }
+    os << "}}";
+  }
+  os << "}}";
+}
+
+}  // namespace cux::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+
+#include "obs/span.hpp"
+#include "sim/trace.hpp"
+
+/// \file perfetto.hpp
+/// Chrome trace_event JSON export of collected spans (plus, optionally, the
+/// flat Tracer timeline), loadable in ui.perfetto.dev or chrome://tracing.
+///
+/// Layout: each PE is a process ("PE n"). A message span renders as an async
+/// duration event on the sender PE (named "<kind> <bytes>B") with its phase
+/// transitions nested as instants; the receiver-side intervals the paper's
+/// totals hide — post-delay (metadata arrival -> receive posted), early-wait
+/// (payload queued unexpected -> matched) and data (posted/matched ->
+/// delivered) — render as their own async events on the receiver PE. An
+/// "inflight-spans" counter track per PE shows concurrency, and Tracer
+/// records (when a tracer is passed) appear as instant events.
+
+namespace cux::obs {
+
+void writePerfetto(std::ostream& os, const SpanCollector& spans,
+                   const sim::Tracer* trace = nullptr);
+
+}  // namespace cux::obs

@@ -1,0 +1,97 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cux::obs {
+
+namespace {
+
+/// First-occurrence timestamp of each phase for one span; kNone = unseen.
+struct PhaseTimes {
+  static constexpr sim::TimePoint kNone = ~sim::TimePoint{0};
+  sim::TimePoint at[kPhaseCount];
+  PhaseTimes() {
+    for (auto& t : at) t = kNone;
+  }
+  [[nodiscard]] bool has(Phase p) const noexcept {
+    return at[static_cast<std::size_t>(p)] != kNone;
+  }
+  [[nodiscard]] sim::TimePoint get(Phase p) const noexcept {
+    return at[static_cast<std::size_t>(p)];
+  }
+};
+
+}  // namespace
+
+void Breakdown::accumulate(const SpanCollector& sc) {
+  const auto& all_spans = sc.spans();
+  std::vector<PhaseTimes> times(all_spans.size());
+  std::vector<std::uint64_t> retry_count(all_spans.size(), 0);
+  for (const SpanEvent& e : sc.events()) {
+    if (e.span == 0 || e.span > times.size()) continue;
+    PhaseTimes& pt = times[e.span - 1];
+    const auto idx = static_cast<std::size_t>(e.phase);
+    if (e.time < pt.at[idx]) pt.at[idx] = e.time;
+    if (e.phase == Phase::Retry) ++retry_count[e.span - 1];
+    if (e.phase == Phase::Fallback) ++fallbacks;
+  }
+
+  for (std::size_t i = 0; i < all_spans.size(); ++i) {
+    const SpanInfo& s = all_spans[i];
+    const PhaseTimes& pt = times[i];
+    ++spans;
+    retries += retry_count[i];
+    if (!s.open && s.terminal == Phase::Completed) ++completed;
+    if (!s.open && s.terminal == Phase::Errored) ++errored;
+    if (pt.has(Phase::MatchedPosted)) ++matched_posted;
+    if (pt.has(Phase::MatchedUnexpected)) ++matched_unexpected;
+
+    if (!s.open && s.terminal == Phase::Completed) {
+      total.push_back(sim::toUs(s.end - s.begin));
+    }
+    if (pt.has(Phase::MetaArrived)) {
+      meta.push_back(sim::toUs(pt.get(Phase::MetaArrived) - s.begin));
+      if (pt.has(Phase::RecvPosted)) {
+        post_delay.push_back(sim::toUs(pt.get(Phase::RecvPosted) - pt.get(Phase::MetaArrived)));
+      }
+    }
+    if (pt.has(Phase::EarlyArrival)) {
+      const sim::TimePoint matched = pt.has(Phase::MatchedUnexpected)
+                                         ? pt.get(Phase::MatchedUnexpected)
+                                         : (pt.has(Phase::RecvPosted) ? pt.get(Phase::RecvPosted)
+                                                                      : PhaseTimes::kNone);
+      if (matched != PhaseTimes::kNone && matched >= pt.get(Phase::EarlyArrival)) {
+        early_wait.push_back(sim::toUs(matched - pt.get(Phase::EarlyArrival)));
+      }
+    }
+    if (pt.has(Phase::Completed)) {
+      sim::TimePoint from = PhaseTimes::kNone;
+      if (pt.has(Phase::RecvPosted)) from = pt.get(Phase::RecvPosted);
+      if (pt.has(Phase::MatchedUnexpected) && pt.get(Phase::MatchedUnexpected) > from &&
+          from != PhaseTimes::kNone) {
+        from = pt.get(Phase::MatchedUnexpected);
+      } else if (from == PhaseTimes::kNone && pt.has(Phase::MatchedUnexpected)) {
+        from = pt.get(Phase::MatchedUnexpected);
+      }
+      if (from != PhaseTimes::kNone && pt.get(Phase::Completed) >= from) {
+        data.push_back(sim::toUs(pt.get(Phase::Completed) - from));
+      }
+    }
+  }
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0) return v.front();
+  if (p >= 100) return v.back();
+  // Linear interpolation between closest ranks (numpy's default).
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
+}  // namespace cux::obs

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file span.hpp
+/// Message-lifecycle spans: every top-level send (Charm++ entry-method
+/// buffer, MPI_Isend, charm4py channel message, or a raw machine-layer
+/// lrtsSendDevice) mints a 64-bit span id and the layers below record phase
+/// transitions against it, producing a per-message timeline. This is how the
+/// paper's multi-leg protocol (host metadata racing the UCX tagged payload,
+/// receive posted only after the metadata lands) becomes measurable: the
+/// early-arrival wait and the recv-post delay fall directly out of the
+/// phase timestamps.
+///
+/// Correlation works through the machine-generated tag: device-transfer tags
+/// are unique among in-flight transfers, so the UCX worker can look a span
+/// up by tag without any message-format change (bindTag / spanForTag).
+/// Converse host messages share one tag per source PE and therefore carry
+/// the span id in the model layer's own envelope instead.
+///
+/// Disabled (the default) the collector is a single branch per hook: begin()
+/// returns 0, every other entry point early-returns on span id 0 or on
+/// `enabled_`, no memory is touched, no engine events are scheduled and no
+/// randomness is consumed — trace hashes are bit-identical with the
+/// collector on or off (asserted in test_trace_hash.cpp).
+
+namespace cux::obs {
+
+/// Phase taxonomy of one message lifecycle. Order is not semantically
+/// meaningful; each phase is recorded with its own timestamp.
+enum class Phase : std::uint8_t {
+  ApiSend,            ///< span begin: top-level send entered (model layer / lrts)
+  MetaSent,           ///< host-side metadata handed to converse
+  MetaArrived,        ///< metadata envelope reached the receiving model layer
+  RecvPosted,         ///< lrtsRecvDevice posted the machine-layer receive
+  PayloadSent,        ///< UCX tagged send issued (eager payload or rendezvous RTS)
+  EarlyArrival,       ///< payload arrived before the receive was posted (paper's limitation)
+  MatchedPosted,      ///< arrival matched an already-posted receive
+  MatchedUnexpected,  ///< posted receive matched a queued early arrival
+  RndvData,           ///< rendezvous data landed at the receiver
+  RndvAts,            ///< rendezvous ATS completed the sender
+  Retry,              ///< reliability-layer retransmission of a leg
+  Fallback,           ///< device send degraded to the host-staged route
+  RecvRepost,         ///< receive re-posted after a terminal rendezvous failure
+  Completed,          ///< terminal: data delivered to the receiver
+  Errored,            ///< terminal: transfer failed permanently
+  Cancelled,          ///< terminal: receive cancelled
+};
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::Cancelled) + 1;
+
+[[nodiscard]] const char* name(Phase p);
+
+[[nodiscard]] constexpr bool terminal(Phase p) noexcept {
+  return p == Phase::Completed || p == Phase::Errored || p == Phase::Cancelled;
+}
+
+/// One recorded phase transition.
+struct SpanEvent {
+  std::uint64_t span = 0;
+  sim::TimePoint time = 0;
+  Phase phase = Phase::ApiSend;
+  std::int32_t pe = -1;
+  std::uint64_t aux = 0;  ///< phase-specific (bytes, attempt number, ...)
+};
+
+/// Per-span summary maintained incrementally (indexed by span id - 1).
+struct SpanInfo {
+  sim::TimePoint begin = 0;
+  sim::TimePoint end = 0;  ///< max event time seen so far
+  std::int32_t src_pe = -1;
+  std::int32_t dst_pe = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;         ///< bound wire tag (0 = none bound)
+  const char* kind = "";         ///< static string: "charm", "ampi", ...
+  Phase terminal = Phase::ApiSend;  ///< valid only when !open
+  bool open = false;
+};
+
+class SpanCollector {
+ public:
+  void enable(std::size_t reserve_spans = 4096) {
+    enabled_ = true;
+    spans_.reserve(reserve_spans);
+    events_.reserve(reserve_spans * 8);
+  }
+  void disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Mints a span and records Phase::ApiSend. Returns 0 when disabled.
+  /// `kind` must be a string with static storage duration.
+  std::uint64_t begin(sim::TimePoint t, int src_pe, int dst_pe, std::uint64_t bytes,
+                      const char* kind) {
+    if (!enabled_) return 0;
+    spans_.push_back(SpanInfo{t, t, src_pe, dst_pe, bytes, 0, kind, Phase::ApiSend, true});
+    const std::uint64_t id = spans_.size();  // ids start at 1
+    ++open_;
+    events_.push_back(SpanEvent{id, t, Phase::ApiSend, src_pe, bytes});
+    return id;
+  }
+
+  /// Records a phase transition; ignored for span id 0 (disabled / no span).
+  void phase(std::uint64_t span, sim::TimePoint t, Phase p, int pe, std::uint64_t aux = 0) {
+    if (span == 0 || span > spans_.size()) return;
+    events_.push_back(SpanEvent{span, t, p, pe, aux});
+    SpanInfo& s = spans_[span - 1];
+    if (t > s.end) s.end = t;
+  }
+
+  /// Terminates a span. A second close of the same span is counted in
+  /// doubleCloses() instead of asserting, so the fault suite can detect the
+  /// bug rather than crash on it.
+  void end(std::uint64_t span, sim::TimePoint t, Phase p, int pe) {
+    if (span == 0 || span > spans_.size()) return;
+    SpanInfo& s = spans_[span - 1];
+    if (!s.open) {
+      ++double_closes_;
+      return;
+    }
+    s.open = false;
+    s.terminal = p;
+    if (t > s.end) s.end = t;
+    --open_;
+    ++closed_;
+    events_.push_back(SpanEvent{span, t, p, pe, 0});
+    if (s.tag != 0) unbindTag(s.tag, span);
+  }
+
+  // --- tag correlation ------------------------------------------------------
+
+  /// Associates a wire tag with a span so layers that only see the tag
+  /// (Worker, DeviceComm) can attribute their phases. Rebinding a tag (tag
+  /// counters wrap eventually) overwrites the old association.
+  void bindTag(std::uint64_t span, std::uint64_t tag) {
+    if (span == 0 || span > spans_.size()) return;
+    spans_[span - 1].tag = tag;
+    tag_to_span_[tag] = span;
+  }
+
+  /// Span currently bound to `tag`, or 0. Safe (and constant-time) to call
+  /// with host tags that were never bound.
+  [[nodiscard]] std::uint64_t spanForTag(std::uint64_t tag) const noexcept {
+    if (!enabled_) return 0;
+    const auto it = tag_to_span_.find(tag);
+    return it == tag_to_span_.end() ? 0 : it->second;
+  }
+
+  // --- accounting / inspection ---------------------------------------------
+
+  [[nodiscard]] std::uint64_t begun() const noexcept { return spans_.size(); }
+  [[nodiscard]] std::uint64_t closed() const noexcept { return closed_; }
+  [[nodiscard]] std::uint64_t openCount() const noexcept { return open_; }
+  [[nodiscard]] std::uint64_t doubleCloses() const noexcept { return double_closes_; }
+  [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] const std::vector<SpanInfo>& spans() const noexcept { return spans_; }
+  [[nodiscard]] const SpanInfo* span(std::uint64_t id) const noexcept {
+    return id == 0 || id > spans_.size() ? nullptr : &spans_[id - 1];
+  }
+  [[nodiscard]] std::uint64_t terminalCount(Phase p) const {
+    std::uint64_t n = 0;
+    for (const SpanInfo& s : spans_) n += (!s.open && s.terminal == p) ? 1 : 0;
+    return n;
+  }
+
+  void clear() {
+    spans_.clear();
+    events_.clear();
+    tag_to_span_.clear();
+    open_ = closed_ = double_closes_ = 0;
+  }
+
+ private:
+  void unbindTag(std::uint64_t tag, std::uint64_t span) {
+    const auto it = tag_to_span_.find(tag);
+    if (it != tag_to_span_.end() && it->second == span) tag_to_span_.erase(it);
+  }
+
+  bool enabled_ = false;
+  std::vector<SpanInfo> spans_;
+  std::vector<SpanEvent> events_;
+  std::unordered_map<std::uint64_t, std::uint64_t> tag_to_span_;
+  std::uint64_t open_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t double_closes_ = 0;
+};
+
+}  // namespace cux::obs

@@ -34,9 +34,12 @@ const char* name(TraceCat c) {
 
 void Tracer::dumpCsv(std::ostream& os) const {
   os << "time_us,category,pe,peer,bytes,tag,detail\n";
-  for (const TraceRecord& r : records_) {
+  forEachOrdered([&os](const TraceRecord& r) {
     os << toUs(r.time) << ',' << name(r.cat) << ',' << r.pe << ',' << r.peer << ',' << r.bytes
        << ',' << r.tag << ',' << r.detail << '\n';
+  });
+  if (dropped_ != 0) {
+    os << "# dropped " << dropped_ << " oldest records (ring capacity " << capacity_ << ")\n";
   }
 }
 
@@ -50,7 +53,7 @@ std::uint64_t Tracer::hash() const noexcept {
       h *= kPrime;
     }
   };
-  for (const TraceRecord& r : records_) {
+  forEachOrdered([&](const TraceRecord& r) {
     mix(r.time);
     mix(static_cast<std::uint64_t>(r.cat));
     mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.pe)));
@@ -61,7 +64,7 @@ std::uint64_t Tracer::hash() const noexcept {
       h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*p));
       h *= kPrime;
     }
-  }
+  });
   return h;
 }
 

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -42,30 +44,65 @@ struct TraceRecord {
   int peer = -1;
   std::uint64_t bytes = 0;
   std::uint64_t tag = 0;
-  const char* detail = "";  ///< static string only (no ownership)
+  /// Interned by Tracer::record() — callers may pass a string of any
+  /// lifetime (the old "static string only" contract dangled on a stack
+  /// string; see the intern pool below).
+  const char* detail = "";
 };
 
 class Tracer {
  public:
-  /// Enables recording; `capacity` bounds memory (oldest records kept).
+  /// Enables recording; `capacity` bounds memory. The store is a true ring:
+  /// once full, each new record overwrites the OLDEST one (the newest
+  /// records are kept) and dropped() counts the overwritten history, so
+  /// truncation is never silent.
   void enable(std::size_t capacity = 1 << 20) {
     enabled_ = true;
-    capacity_ = capacity;
-    records_.reserve(capacity < 4096 ? capacity : 4096);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    records_.reserve(capacity_ < 4096 ? capacity_ : 4096);
   }
   void disable() noexcept { enabled_ = false; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   void record(TimePoint t, TraceCat cat, int pe, int peer, std::uint64_t bytes,
               std::uint64_t tag, const char* detail = "") {
-    if (!enabled_ || records_.size() >= capacity_) return;
-    records_.push_back(TraceRecord{t, cat, pe, peer, bytes, tag, detail});
+    if (!enabled_) return;
+    // Interning makes the record own-nothing safe: a caller handing us a
+    // stack buffer (the classic footgun with the previous raw-pointer
+    // contract) gets a stable pooled copy instead of a dangling pointer.
+    if (*detail != '\0') detail = intern(detail);
+    if (records_.size() < capacity_) {
+      records_.push_back(TraceRecord{t, cat, pe, peer, bytes, tag, detail});
+      return;
+    }
+    records_[head_] = TraceRecord{t, cat, pe, peer, bytes, tag, detail};
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    ++dropped_;
   }
 
+  /// Raw ring storage. Once dropped() > 0 this is NOT chronological — the
+  /// oldest surviving record sits at the wrap point; use forEachOrdered()
+  /// (or dumpCsv/hash, which do) for time order.
   [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
-  void clear() noexcept { records_.clear(); }
 
-  /// One line per record: time_us,category,pe,peer,bytes,tag,detail
+  /// Visits every surviving record oldest-first.
+  template <typename Fn>
+  void forEachOrdered(Fn&& fn) const {
+    for (std::size_t i = head_; i < records_.size(); ++i) fn(records_[i]);
+    for (std::size_t i = 0; i < head_; ++i) fn(records_[i]);
+  }
+
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear() noexcept {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// One line per record (oldest first): time_us,category,pe,peer,bytes,tag,
+  /// detail. A non-zero dropped() is surfaced as a trailing comment line.
   void dumpCsv(std::ostream& os) const;
 
   /// Order-sensitive FNV-1a hash over every record (including detail
@@ -78,9 +115,31 @@ class Tracer {
   [[nodiscard]] std::size_t count(TraceCat c) const;
 
  private:
+  [[nodiscard]] const char* intern(const char* s) {
+    const auto it = pool_.find(std::string_view(s));
+    if (it != pool_.end()) return it->c_str();
+    return pool_.emplace(s).first->c_str();
+  }
+
+  /// Heterogeneous lookup so the per-record intern probe never constructs a
+  /// std::string (details longer than the SSO cap would otherwise allocate
+  /// on every record).
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   bool enabled_ = false;
   std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  ///< ring wrap point: oldest surviving record
+  std::uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
+  std::unordered_set<std::string, StringHash, std::equal_to<>> pool_;
 };
 
 }  // namespace cux::sim

@@ -28,6 +28,9 @@ namespace cux::ucx {
 class Context {
  public:
   Context(hw::System& sys, const UcxConfig& cfg);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
 
   [[nodiscard]] hw::System& system() noexcept { return sys_; }
   [[nodiscard]] const UcxConfig& config() const noexcept { return cfg_; }
@@ -190,6 +193,7 @@ class Context {
   hw::System& sys_;
   UcxConfig cfg_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  int stats_provider_ = 0;  ///< obs registry handle (dtor deregisters)
   std::uint64_t sends_started_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t retransmits_ = 0;

@@ -25,7 +25,32 @@ Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
   const int pes = sys.config.numPes();
   workers_.reserve(static_cast<std::size_t>(pes));
   for (int pe = 0; pe < pes; ++pe) workers_.push_back(std::make_unique<Worker>(*this, pe));
+  // Re-home the scattered per-context stats behind the System's registry:
+  // a snapshot provider runs only when someone dumps, so the send/recv hot
+  // paths keep their plain member counters.
+  stats_provider_ = sys_.obs.addStatsProvider([this](obs::Registry& r) {
+    r.setGauge("ucx.sends_started", sends_started_);
+    r.setGauge("ucx.bytes_sent", bytes_sent_);
+    r.setGauge("ucx.retransmits", retransmits_);
+    r.setGauge("ucx.send_errors", send_errors_);
+    r.setGauge("ucx.duplicates_suppressed", duplicatesSuppressed());
+    r.setGauge("ucx.req_pool.hits", req_pool_.hits());
+    r.setGauge("ucx.req_pool.misses", req_pool_.misses());
+    r.setGauge("ucx.buf_pool.hits", buf_hits_);
+    r.setGauge("ucx.buf_pool.misses", buf_misses_);
+    r.setGauge("ucx.buf_pool.bytes", buf_pool_bytes_);
+    const Worker::MatchStats s = matchStats();
+    r.setGauge("ucx.match.posted", s.posted);
+    r.setGauge("ucx.match.unexpected", s.unexpected);
+    r.setGauge("ucx.match.posted_hwm", s.posted_hwm);
+    r.setGauge("ucx.match.unexpected_hwm", s.unexpected_hwm);
+    r.setGauge("ucx.match.posted_max_chain", s.posted_max_chain);
+    r.setGauge("ucx.match.unexpected_max_chain", s.unexpected_max_chain);
+    r.setGauge("ucx.match.scan_steps", s.scan_steps);
+  });
 }
+
+Context::~Context() { sys_.obs.removeStatsProvider(stats_provider_); }
 
 // ---------------------------------------------------------------------------
 // Reliability layer (active only while the fault injector is enabled)
@@ -100,6 +125,9 @@ void Context::reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt
     ++retransmits_;
     sys_.trace.record(sys_.engine.now(), sim::TraceCat::Retry, ws->src_pe, ws->dst_pe,
                       ws->proto.len, ws->proto.tag, ws->ctrl ? "rts" : "wire");
+    sys_.obs.spans.phase(sys_.obs.spans.spanForTag(ws->proto.tag), sys_.engine.now(),
+                         obs::Phase::Retry, ws->src_pe,
+                         static_cast<std::uint64_t>(attempt) + 1);
     reliableTransmit(ws, attempt + 1);
   });
 }
@@ -114,6 +142,8 @@ std::pair<sim::TimePoint, bool> Context::faultedCtrl(int src_pe, int dst_pe,
     if (attempt >= cfg_.max_retries) return {send_t + flight, false};
     ++retransmits_;
     sys_.trace.record(send_t, sim::TraceCat::Retry, src_pe, dst_pe, 0, tag, what);
+    sys_.obs.spans.phase(sys_.obs.spans.spanForTag(tag), send_t, obs::Phase::Retry, src_pe,
+                         static_cast<std::uint64_t>(attempt) + 1);
     send_t += retryDelay(attempt);
   }
 }
@@ -509,6 +539,8 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
       }
       ++retransmits_;
       sys_.trace.record(start, sim::TraceCat::Retry, src_pe, dst_pe, len, msg.tag, "rndv-data");
+      sys_.obs.spans.phase(sys_.obs.spans.spanForTag(msg.tag), start, obs::Phase::Retry, src_pe,
+                           static_cast<std::uint64_t>(attempt) + 1);
       start += retryDelay(attempt);
     }
   }
@@ -532,6 +564,11 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
     return {data_arrival, false};
   }
 
+  // Rendezvous data leg succeeded: record the (scheduled) arrival; the ATS
+  // leg is appended below once its arrival time is known.
+  sys_.obs.spans.phase(sys_.obs.spans.spanForTag(msg.tag), data_arrival, obs::Phase::RndvData,
+                       dst_pe, len);
+
   // Sender-side completion: ATS control message back after the data is out.
   // Under faults the ATS is receiver-driven and retried; if every attempt is
   // lost, the data did arrive (receiver completes Done) but the sender can
@@ -552,6 +589,8 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
                                             cfg_.header_bytes) +
                   sim::usec(cfg_.rndv_handshake_us);
   }
+  sys_.obs.spans.phase(sys_.obs.spans.spanForTag(msg.tag), ats_arrival, obs::Phase::RndvAts,
+                       src_pe, ats_ok ? 1 : 0);
   engine.schedule(ats_arrival, [send_req, send_cb, ats_ok] {
     if (send_req && send_req->state == ReqState::Pending) {
       // The data leg finished before the ATS was even attempted, so the
@@ -584,6 +623,11 @@ RequestPtr Worker::tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, Comp
   RequestPtr req = ctx_.makeRequest();
   PostedRecv r{req, buf, len, tag, mask, std::move(cb)};
 
+  // A hit in the unexpected store below ends the early-arrival wait: the
+  // payload got here before this receive was posted (the paper's
+  // limitation); the span timeline records how long it sat queued.
+  obs::SpanCollector& spans = ctx_.system().obs.spans;
+
   if (linearMatcher()) {
     // Reference matcher: scan the unexpected queue in arrival order.
     for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
@@ -591,6 +635,8 @@ RequestPtr Worker::tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, Comp
       if (tagsMatch(it->tag, tag, mask)) {
         Incoming msg = std::move(*it);
         unexpected_.erase(it);
+        spans.phase(spans.spanForTag(msg.tag), ctx_.system().engine.now(),
+                    obs::Phase::MatchedUnexpected, pe_, msg.len);
         dispatchMatch(std::move(r), std::move(msg));
         return req;
       }
@@ -613,6 +659,8 @@ RequestPtr Worker::tagRecv(void* buf, std::uint64_t len, Tag tag, Tag mask, Comp
                 [tag, mask](const Incoming& m) { return tagsMatch(m.tag, tag, mask); });
   if (hit != sim::BucketFifo<Incoming>::kNil) {
     Incoming msg = unexpected_idx_.take(hit);
+    spans.phase(spans.spanForTag(msg.tag), ctx_.system().engine.now(),
+                obs::Phase::MatchedUnexpected, pe_, msg.len);
     dispatchMatch(std::move(r), std::move(msg));
     return req;
   }
@@ -714,6 +762,8 @@ void Worker::noteDuplicateSuppressed(int src_pe, std::uint64_t len, Tag tag) {
 }
 
 void Worker::onArrival(Incoming msg) {
+  obs::SpanCollector& spans = ctx_.system().obs.spans;
+  const std::uint64_t arrival_span = spans.spanForTag(msg.tag);
   if (linearMatcher()) {
     // Reference matcher: scan posted receives in post order.
     bool matched = false;
@@ -723,6 +773,8 @@ void Worker::onArrival(Incoming msg) {
         PostedRecv r = std::move(*it);
         posted_.erase(it);
         r.req->match_queue = Request::MatchQueue::None;
+        spans.phase(arrival_span, ctx_.system().engine.now(), obs::Phase::MatchedPosted, pe_,
+                    msg.len);
         dispatchMatch(std::move(r), std::move(msg));
         matched = true;
         break;
@@ -747,6 +799,8 @@ void Worker::onArrival(Incoming msg) {
       PostedRecv r = store.take(exact_wins ? ex : wi);
       r.req->match_slot = Request::kNoSlot;
       r.req->match_queue = Request::MatchQueue::None;
+      spans.phase(arrival_span, ctx_.system().engine.now(), obs::Phase::MatchedPosted, pe_,
+                  msg.len);
       dispatchMatch(std::move(r), std::move(msg));
       return;
     }
@@ -768,6 +822,10 @@ void Worker::onArrival(Incoming msg) {
       return;
     }
   }
+  // No receive posted yet: the payload outran the metadata/post. This is
+  // the early arrival the paper's totals hide — the matching tagRecv later
+  // records MatchedUnexpected, closing the wait interval.
+  spans.phase(arrival_span, ctx_.system().engine.now(), obs::Phase::EarlyArrival, pe_, msg.len);
   if (linearMatcher()) {
     unexpected_.push_back(std::move(msg));
     if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();

@@ -34,13 +34,14 @@ TEST(TraceHash, OrderSensitive) {
 
 std::uint64_t mixedUcxTrafficHash(const sim::FaultConfig& fault = {},
                                   ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed,
-                                  bool pooling = true) {
+                                  bool pooling = true, bool obs = false) {
   model::Model m = model::summit(2);
   m.ucx.matcher = matcher;
   m.ucx.pooling = pooling;
   m.machine.fault = fault;
   hw::System sys(m.machine);
   sys.trace.enable();
+  if (obs) sys.obs.spans.enable();
   ucx::Context ctx(sys, m.ucx);
   sim::SplitMix64 rng(42);
 
@@ -92,13 +93,15 @@ TEST(TraceHash, MixedUcxTrafficBitIdenticalAcrossRuns) {
 }
 
 std::uint64_t deviceCommHash(bool smp, const sim::FaultConfig& fault = {},
-                             ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed) {
+                             ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed,
+                             bool obs = false) {
   model::Model m = model::summit(2);
   m.ucx.matcher = matcher;
   m.costs.smp_comm_thread = smp;
   m.machine.fault = fault;
   hw::System sys(m.machine);
   sys.trace.enable();
+  if (obs) sys.obs.spans.enable();
   ucx::Context ctx(sys, m.ucx);
   cmi::Converse cmi(sys, ctx, m.costs);
   core::DeviceComm dev(cmi);
@@ -170,6 +173,25 @@ TEST(TraceHash, DisabledInjectorIsBitIdenticalToNoInjector) {
   EXPECT_EQ(mixedUcxTrafficHash(), mixedUcxTrafficHash(configured_but_off));
   EXPECT_EQ(deviceCommHash(false), deviceCommHash(false, configured_but_off));
   EXPECT_EQ(deviceCommHash(true), deviceCommHash(true, configured_but_off));
+}
+
+// The observability contract (mirroring the injector's): span collection
+// writes only to its own buffers — it never touches sim::Tracer, schedules
+// engine events, or consumes randomness — so enabling it leaves the trace
+// hash bit-identical. This must hold on the clean timeline AND on a faulty
+// one, where the Retry/Fallback/Errored span phases fire too.
+TEST(TraceHash, ObservabilityIsTraceInvisible) {
+  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, /*obs=*/false),
+            mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, /*obs=*/true));
+  EXPECT_EQ(deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, /*obs=*/false),
+            deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, /*obs=*/true));
+  EXPECT_EQ(deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, /*obs=*/false),
+            deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, /*obs=*/true));
+  const auto loss = sim::FaultConfig::uniformLoss(0.1, 3);
+  EXPECT_EQ(mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, /*obs=*/false),
+            mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, /*obs=*/true));
+  EXPECT_EQ(deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, /*obs=*/false),
+            deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, /*obs=*/true));
 }
 
 // Enabled faults are themselves deterministic: a fixed seed reproduces the

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "converse/converse.hpp"
 #include "core/device_comm.hpp"
 #include "hw/cuda.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/report.hpp"
 #include "sim/fault.hpp"
 
 using namespace cux;
@@ -35,6 +38,9 @@ namespace {
 struct Args {
   std::string metric = "latency";  // latency | bandwidth | jacobi
   osu::Stack stack = osu::Stack::Charm;
+  bool stack_set = false;  ///< --stack given (breakdown narrows to one stack)
+  bool json = false;       ///< machine-readable output instead of CSV
+  std::string perfetto;    ///< --perfetto FILE (breakdown: trace of last point)
   osu::Mode mode = osu::Mode::Device;
   osu::Placement place = osu::Placement::IntraNode;
   int nodes = 2;
@@ -54,12 +60,18 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match  what to measure\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown  what to measure\n"
       "                                      (match: tag-matching engine occupancy\n"
       "                                      per stack — posted/unexpected\n"
       "                                      high-watermarks, bucket counts, longest\n"
       "                                      chains, scan steps; uses --nodes,\n"
       "                                      --window, --iters)\n"
+      "                                      (breakdown: per-phase latency\n"
+      "                                      percentiles from message-lifecycle\n"
+      "                                      spans — metadata leg, recv-post delay,\n"
+      "                                      early-arrival wait, data movement —\n"
+      "                                      per stack and size; default stacks\n"
+      "                                      charm,ampi,charm4py unless --stack)\n"
       "  --stack charm|ampi|ompi|charm4py    programming model (default charm)\n"
       "  --mode device|host                  GPU-aware (-D) or host-staging (-H)\n"
       "  --place intra|inter                 PE placement for micro-benchmarks\n"
@@ -72,7 +84,11 @@ struct Args {
       "  --drop P                            uniform message-drop probability [0,1)\n"
       "  --fault-seed N                      fault injector seed (default 0x5eed)\n"
       "  --drops a,b,c                       drop rates in %% for --metric loss\n"
-      "                                      (default 0,1,2,5,10)\n",
+      "                                      (default 0,1,2,5,10)\n"
+      "  --json                              machine-readable JSON instead of CSV\n"
+      "  --perfetto FILE                     (breakdown) write a Chrome trace_event\n"
+      "                                      JSON of the last data point's spans,\n"
+      "                                      loadable in ui.perfetto.dev\n",
       argv0);
   std::exit(2);
 }
@@ -110,6 +126,11 @@ Args parse(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+      a.stack_set = true;
+    } else if (opt == "--json") {
+      a.json = true;
+    } else if (opt == "--perfetto") {
+      a.perfetto = need(i);
     } else if (opt == "--mode") {
       const std::string v = need(i);
       a.mode = v == "host" ? osu::Mode::HostStaging : osu::Mode::Device;
@@ -165,7 +186,17 @@ int runMicro(const Args& a) {
   if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
   const bool lat = a.metric == "latency";
   const auto pts = lat ? osu::runLatency(cfg) : osu::runBandwidth(cfg);
-  std::printf("size_bytes,%s\n", lat ? "one_way_latency_us" : "bandwidth_MBps");
+  const char* value_key = lat ? "one_way_latency_us" : "bandwidth_MBps";
+  if (a.json) {
+    std::printf("{\"metric\":\"%s\",\"points\":[", a.metric.c_str());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      std::printf("%s{\"size_bytes\":%zu,\"%s\":%.3f}", i == 0 ? "" : ",", pts[i].bytes,
+                  value_key, pts[i].value);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("size_bytes,%s\n", value_key);
   for (const auto& p : pts) std::printf("%zu,%.3f\n", p.bytes, p.value);
   return 0;
 }
@@ -184,6 +215,16 @@ int runJacobi(const Args& a) {
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
   if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
   const auto r = jacobi::runJacobi(cfg);
+  if (a.json) {
+    std::printf("{\"metric\":\"jacobi\",\"nodes\":%d,"
+                "\"grid\":[%lld,%lld,%lld],\"procs\":[%lld,%lld,%lld],"
+                "\"overall_ms_per_iter\":%.3f,\"comm_ms_per_iter\":%.3f}\n",
+                a.nodes, static_cast<long long>(a.grid.x), static_cast<long long>(a.grid.y),
+                static_cast<long long>(a.grid.z), static_cast<long long>(r.dec.procs.x),
+                static_cast<long long>(r.dec.procs.y), static_cast<long long>(r.dec.procs.z),
+                r.overall_ms_per_iter, r.comm_ms_per_iter);
+    return 0;
+  }
   std::printf("nodes,grid,procs,overall_ms_per_iter,comm_ms_per_iter\n");
   std::printf("%d,%lldx%lldx%lld,%lldx%lldx%lld,%.3f,%.3f\n", a.nodes,
               static_cast<long long>(a.grid.x), static_cast<long long>(a.grid.y),
@@ -207,14 +248,24 @@ int runLoss(const Args& a) {
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
   const std::vector<std::size_t> sizes =
       a.sizes.empty() ? std::vector<std::size_t>{4096, 65536, 1048576} : a.sizes;
-  std::printf("drop_percent,size_bytes,one_way_latency_us\n");
+  if (!a.json) std::printf("drop_percent,size_bytes,one_way_latency_us\n");
+  if (a.json) std::printf("{\"metric\":\"loss\",\"points\":[");
+  bool first = true;
   for (const double rate : a.drops) {
     cfg.model.machine.fault = rate > 0.0 ? sim::FaultConfig::uniformLoss(rate, a.fault_seed)
                                          : sim::FaultConfig{};
     for (const std::size_t bytes : sizes) {
-      std::printf("%.1f,%zu,%.3f\n", rate * 100.0, bytes, osu::latencyPoint(cfg, bytes));
+      const double lat = osu::latencyPoint(cfg, bytes);
+      if (a.json) {
+        std::printf("%s{\"drop_percent\":%.1f,\"size_bytes\":%zu,\"one_way_latency_us\":%.3f}",
+                    first ? "" : ",", rate * 100.0, bytes, lat);
+        first = false;
+      } else {
+        std::printf("%.1f,%zu,%.3f\n", rate * 100.0, bytes, lat);
+      }
     }
   }
+  if (a.json) std::printf("]}\n");
   return 0;
 }
 
@@ -222,7 +273,18 @@ int runLoss(const Args& a) {
 // --metric match: tag-matching engine occupancy per stack
 // --------------------------------------------------------------------------
 
-void printMatchRow(const char* stack, const ucx::Worker::MatchStats& s) {
+void printMatchRow(const Args& a, bool first, const char* stack,
+                   const ucx::Worker::MatchStats& s) {
+  if (a.json) {
+    std::printf("%s{\"stack\":\"%s\",\"posted_hwm\":%zu,\"unexpected_hwm\":%zu,"
+                "\"posted\":%zu,\"unexpected\":%zu,\"posted_buckets\":%zu,"
+                "\"unexpected_buckets\":%zu,\"posted_max_chain\":%zu,"
+                "\"unexpected_max_chain\":%zu,\"scan_steps\":%llu}",
+                first ? "" : ",", stack, s.posted_hwm, s.unexpected_hwm, s.posted, s.unexpected,
+                s.posted_buckets, s.unexpected_buckets, s.posted_max_chain,
+                s.unexpected_max_chain, static_cast<unsigned long long>(s.scan_steps));
+    return;
+  }
   std::printf("%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%llu\n", stack, s.posted_hwm, s.unexpected_hwm,
               s.posted, s.unexpected, s.posted_buckets, s.unexpected_buckets, s.posted_max_chain,
               s.unexpected_max_chain, static_cast<unsigned long long>(s.scan_steps));
@@ -238,9 +300,13 @@ int runMatch(const Args& a) {
   const int nodes = a.nodes < 2 ? 2 : a.nodes;
   const int window = a.window < 1 ? 1 : a.window;
   const int iters = a.iters < 1 ? 1 : a.iters;
-  std::printf(
-      "stack,posted_hwm,unexpected_hwm,posted,unexpected,posted_buckets,"
-      "unexpected_buckets,posted_max_chain,unexpected_max_chain,scan_steps\n");
+  if (a.json) {
+    std::printf("{\"metric\":\"match\",\"rows\":[");
+  } else {
+    std::printf(
+        "stack,posted_hwm,unexpected_hwm,posted,unexpected,posted_buckets,"
+        "unexpected_buckets,posted_max_chain,unexpected_max_chain,scan_steps\n");
+  }
 
   const auto tagOf = [](int it, int i) { return static_cast<ucx::Tag>(it * 100000 + i); };
 
@@ -264,7 +330,7 @@ int runMatch(const Args& a) {
       }
       sys.engine.run();
     }
-    printMatchRow("ucx", ctx.matchStats());
+    printMatchRow(a, true, "ucx", ctx.matchStats());
   }
 
   {  // Charm++ machine layer: GPU transfers whose metadata receives ride
@@ -289,7 +355,7 @@ int runMatch(const Args& a) {
       }
       sys.engine.run();
     }
-    printMatchRow("charm", dev.matchStats());
+    printMatchRow(a, false, "charm", dev.matchStats());
   }
 
   {  // AMPI: (src, tag, comm) matching over the bucketed rank queues
@@ -322,7 +388,132 @@ int runMatch(const Args& a) {
       std::fprintf(stderr, "match: AMPI workload deadlocked\n");
       return 1;
     }
-    printMatchRow("ampi", world.matchStats());
+    printMatchRow(a, false, "ampi", world.matchStats());
+  }
+  if (a.json) std::printf("]}\n");
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// --metric breakdown: per-phase latency percentiles from lifecycle spans
+// --------------------------------------------------------------------------
+
+/// CLI identifier of a stack (lowercase, matches the --stack values).
+[[nodiscard]] const char* stackKey(osu::Stack s) {
+  switch (s) {
+    case osu::Stack::Charm:
+      return "charm";
+    case osu::Stack::Ampi:
+      return "ampi";
+    case osu::Stack::Ompi:
+      return "ompi";
+    case osu::Stack::Charm4py:
+      return "charm4py";
+  }
+  return "?";
+}
+
+/// Runs the OSU latency point per stack and size with span collection on and
+/// reports per-phase interval percentiles: the metadata leg, the recv-post
+/// delay (the paper's delayed-posting limitation), the early-arrival wait and
+/// the data movement, none of which the end-to-end latency figures can show.
+int runBreakdown(const Args& a) {
+  const std::vector<osu::Stack> stacks =
+      a.stack_set ? std::vector<osu::Stack>{a.stack}
+                  : std::vector<osu::Stack>{osu::Stack::Charm, osu::Stack::Ampi,
+                                            osu::Stack::Charm4py};
+  const std::vector<std::size_t> sizes =
+      a.sizes.empty() ? std::vector<std::size_t>{4096, 65536, 1048576} : a.sizes;
+
+  struct Row {
+    const char* stack;
+    std::size_t bytes;
+    double latency_us;
+    obs::Breakdown b;
+  };
+  std::vector<Row> rows;
+  obs::SpanCollector last_spans;  // --perfetto: trace of the last point
+
+  for (const osu::Stack stack : stacks) {
+    for (const std::size_t bytes : sizes) {
+      osu::BenchConfig cfg;
+      cfg.stack = stack;
+      cfg.mode = a.mode;
+      cfg.place = a.place;
+      cfg.iters = a.iters;
+      cfg.warmup = a.warmup;
+      cfg.model =
+          model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
+      cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+      if (a.drop > 0.0) {
+        cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
+      }
+      cfg.observe = true;
+      Row row{stackKey(stack), bytes, 0.0, {}};
+      cfg.inspect = [&row, &last_spans](hw::System& sys) {
+        row.b.accumulate(sys.obs.spans);
+        last_spans = sys.obs.spans;
+      };
+      row.latency_us = osu::latencyPoint(cfg, bytes);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  struct Interval {
+    const char* name;
+    std::vector<double> obs::Breakdown::* samples;
+  };
+  const Interval intervals[] = {
+      {"total", &obs::Breakdown::total},           {"meta", &obs::Breakdown::meta},
+      {"post_delay", &obs::Breakdown::post_delay}, {"early_wait", &obs::Breakdown::early_wait},
+      {"data", &obs::Breakdown::data},
+  };
+
+  if (a.json) {
+    std::printf("{\"metric\":\"breakdown\",\"points\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      Row& r = rows[i];
+      std::printf("%s{\"stack\":\"%s\",\"size_bytes\":%zu,\"one_way_latency_us\":%.3f,"
+                  "\"spans\":%llu,\"completed\":%llu,\"errored\":%llu,"
+                  "\"matched_posted\":%llu,\"matched_unexpected\":%llu,"
+                  "\"retries\":%llu,\"fallbacks\":%llu,\"intervals\":{",
+                  i == 0 ? "" : ",", r.stack, r.bytes, r.latency_us,
+                  static_cast<unsigned long long>(r.b.spans),
+                  static_cast<unsigned long long>(r.b.completed),
+                  static_cast<unsigned long long>(r.b.errored),
+                  static_cast<unsigned long long>(r.b.matched_posted),
+                  static_cast<unsigned long long>(r.b.matched_unexpected),
+                  static_cast<unsigned long long>(r.b.retries),
+                  static_cast<unsigned long long>(r.b.fallbacks));
+      for (std::size_t k = 0; k < std::size(intervals); ++k) {
+        std::vector<double>& v = r.b.*(intervals[k].samples);
+        std::printf("%s\"%s\":{\"samples\":%zu,\"p50_us\":%.3f,\"p90_us\":%.3f,"
+                    "\"p99_us\":%.3f}",
+                    k == 0 ? "" : ",", intervals[k].name, v.size(), obs::percentile(v, 50),
+                    obs::percentile(v, 90), obs::percentile(v, 99));
+      }
+      std::printf("}}");
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("stack,size_bytes,interval,samples,p50_us,p90_us,p99_us\n");
+    for (Row& r : rows) {
+      for (const Interval& iv : intervals) {
+        std::vector<double>& v = r.b.*(iv.samples);
+        std::printf("%s,%zu,%s,%zu,%.3f,%.3f,%.3f\n", r.stack, r.bytes, iv.name, v.size(),
+                    obs::percentile(v, 50), obs::percentile(v, 90), obs::percentile(v, 99));
+      }
+    }
+  }
+
+  if (!a.perfetto.empty()) {
+    std::ofstream f(a.perfetto);
+    if (!f) {
+      std::fprintf(stderr, "breakdown: cannot open %s\n", a.perfetto.c_str());
+      return 1;
+    }
+    obs::writePerfetto(f, last_spans);
+    std::fprintf(stderr, "breakdown: wrote Perfetto trace to %s\n", a.perfetto.c_str());
   }
   return 0;
 }
@@ -335,5 +526,6 @@ int main(int argc, char** argv) {
   if (a.metric == "jacobi") return runJacobi(a);
   if (a.metric == "loss") return runLoss(a);
   if (a.metric == "match") return runMatch(a);
+  if (a.metric == "breakdown") return runBreakdown(a);
   usage(argv[0]);
 }
