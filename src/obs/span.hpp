@@ -172,6 +172,30 @@ class SpanCollector {
     open_ = closed_ = double_closes_ = 0;
   }
 
+  /// Deterministic cross-shard merge: appends `other`'s spans and events
+  /// with span ids rebased past this collector's (ids are dense and
+  /// per-collector, so rebasing by the current span count keeps them dense
+  /// and collision-free). Tag bindings are NOT carried over — merging is a
+  /// post-run operation and live tag correlation is meaningless across
+  /// engines. Merge the per-shard collectors in shard-index order for
+  /// run-to-run-identical ids.
+  void mergeFrom(const SpanCollector& other) {
+    const std::uint64_t base = spans_.size();
+    spans_.reserve(spans_.size() + other.spans_.size());
+    events_.reserve(events_.size() + other.events_.size());
+    for (SpanInfo s : other.spans_) {
+      s.tag = 0;
+      spans_.push_back(s);
+    }
+    for (SpanEvent ev : other.events_) {
+      ev.span += base;
+      events_.push_back(ev);
+    }
+    open_ += other.open_;
+    closed_ += other.closed_;
+    double_closes_ += other.double_closes_;
+  }
+
  private:
   void unbindTag(std::uint64_t tag, std::uint64_t span) {
     const auto it = tag_to_span_.find(tag);

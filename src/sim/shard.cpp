@@ -1,0 +1,284 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "sim/rng.hpp"
+
+namespace cux::sim {
+
+ShardedEngine::ShardedEngine(ShardPlan plan) : plan_(plan) {
+  if (plan_.num_pes < 1) plan_.num_pes = 1;
+  if (plan_.shards < 1) plan_.shards = 1;
+  if (plan_.shards > plan_.num_pes) plan_.shards = plan_.num_pes;  // no empty shards
+  if (plan_.lookahead == 0) plan_.lookahead = 1;
+  const auto n = static_cast<std::size_t>(plan_.shards);
+  engines_.reserve(n);
+  mailboxes_.reserve(n);
+  post_seq_.assign(n, std::vector<std::uint64_t>(n, 0));
+  for (std::size_t s = 0; s < n; ++s) {
+    engines_.push_back(std::make_unique<Engine>());
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    // Any cross-shard post that would land in the destination's past is a
+    // broken lookahead, not a clampable application quirk.
+    engines_.back()->assertNoPastSchedule(plan_.shards > 1);
+  }
+}
+
+void ShardedEngine::post(int src_shard, int dst_pe, TimePoint t, Engine::Callback cb) {
+  const int dst = plan_.shardOfPe(dst_pe);
+  if (dst == src_shard || plan_.shards == 1) {
+    // Local delivery: schedule directly on the (currently executing) engine,
+    // preserving the exact seq order a plain single-threaded Engine would
+    // assign — this is what makes shards == 1 bit-identical to the classic
+    // engine.
+    engines_[static_cast<std::size_t>(dst)]->schedule(t, std::move(cb));
+    return;
+  }
+  assert(src_shard >= 0 && src_shard < plan_.shards);
+  assert(t >= engines_[static_cast<std::size_t>(src_shard)]->now() + plan_.lookahead &&
+         "cross-shard post violates the conservative lookahead");
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  const std::uint64_t seq =
+      post_seq_[static_cast<std::size_t>(src_shard)][static_cast<std::size_t>(dst)]++;
+  const std::lock_guard<std::mutex> lock(mb.mu);
+  mb.posts.push_back(Post{t, seq, src_shard, std::move(cb)});
+}
+
+void ShardedEngine::drainAndPlan(TimePoint horizon) {
+  // 1. Drain every mailbox. Sorting by (time, src_shard, seq) makes the
+  // schedule order — and hence the engines' FIFO tie-break among
+  // equal-timestamp events — independent of which thread appended first.
+  for (std::size_t d = 0; d < engines_.size(); ++d) {
+    Mailbox& mb = *mailboxes_[d];
+    std::vector<Post> posts;
+    {
+      const std::lock_guard<std::mutex> lock(mb.mu);
+      posts.swap(mb.posts);
+    }
+    if (posts.empty()) continue;
+    std::sort(posts.begin(), posts.end(), [](const Post& a, const Post& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+      return a.seq < b.seq;
+    });
+    posts_drained_ += posts.size();
+    for (Post& p : posts) engines_[d]->schedule(p.time, std::move(p.cb));
+  }
+
+  // 2. Termination / next conservative window.
+  if (stop_requested_.exchange(false, std::memory_order_relaxed)) {
+    done_ = true;
+    drained_ = empty();
+    return;
+  }
+  TimePoint m = Engine::kNoEvent;
+  for (const auto& e : engines_) m = std::min(m, e->nextEventTime());
+  if (m == Engine::kNoEvent) {
+    // Fully drained: advance every clock to the horizon (mirrors the plain
+    // Engine::runUntil drained-path clock contract).
+    if (horizon != Engine::kNoEvent) {
+      for (const auto& e : engines_) e->runUntil(horizon);
+    }
+    done_ = true;
+    drained_ = true;
+    return;
+  }
+  if (m > horizon) {
+    for (const auto& e : engines_) e->runUntil(horizon);  // no event <= horizon exists
+    done_ = true;
+    drained_ = false;
+    return;
+  }
+  // Every event at time <= m + lookahead is safe on every shard: a
+  // cross-shard message generated in the window originates at >= m and
+  // lands at >= m + lookahead, which the next barrier schedules before any
+  // shard's clock passes it.
+  TimePoint target = m + plan_.lookahead;
+  if (target < m) target = Engine::kNoEvent;  // overflow saturates
+  if (target > horizon) target = horizon;
+  epoch_target_ = target;
+  ++epochs_;
+}
+
+bool ShardedEngine::runEpochs(TimePoint horizon) {
+  if (plan_.shards == 1) {
+    // Degenerate case: the classic single-threaded engine, no epochs.
+    Engine& e = *engines_[0];
+    if (horizon == Engine::kNoEvent) {
+      e.run();
+      return e.empty();
+    }
+    return e.runUntil(horizon);
+  }
+
+  done_ = false;
+  drained_ = false;
+  drainAndPlan(horizon);  // pre-run posts + first epoch target
+  if (done_) return drained_;
+
+  const auto completion = [this, horizon]() noexcept { drainAndPlan(horizon); };
+  std::barrier bar(plan_.shards, completion);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(plan_.shards));
+  for (int s = 0; s < plan_.shards; ++s) {
+    threads.emplace_back([this, s, &bar] {
+      Engine& mine = *engines_[static_cast<std::size_t>(s)];
+      while (true) {
+        mine.runUntil(epoch_target_);
+        bar.arrive_and_wait();  // completion = drainAndPlan on one thread
+        if (done_) return;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return drained_;
+}
+
+void ShardedEngine::run() { runEpochs(Engine::kNoEvent); }
+
+bool ShardedEngine::runUntil(TimePoint t) { return runEpochs(t); }
+
+TimePoint ShardedEngine::now() const noexcept {
+  TimePoint t = Engine::kNoEvent;
+  for (const auto& e : engines_) t = std::min(t, e->now());
+  return t == Engine::kNoEvent ? 0 : t;
+}
+
+bool ShardedEngine::empty() const noexcept {
+  for (const auto& e : engines_) {
+    if (!e->empty()) return false;
+  }
+  for (const auto& mb : mailboxes_) {
+    if (!mb->posts.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedEngine::eventsProcessed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->eventsProcessed();
+  return n;
+}
+
+std::uint64_t ShardedEngine::eventsScheduled() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->eventsScheduled();
+  return n;
+}
+
+std::uint64_t ShardedEngine::pastClamped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->pastClamped();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Message storm
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Per-shard delivery-timeline accumulator; cache-line sized so shard
+/// threads never share a line.
+struct alignas(64) StormAcc {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  std::uint64_t deliveries = 0;
+  TimePoint last = 0;
+
+  void record(TimePoint t, int pe, std::uint32_t walker, int hop) noexcept {
+    const auto mix = [this](std::uint64_t v) noexcept {
+      hash ^= v;
+      hash *= 1099511628211ULL;
+    };
+    mix(t);
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(pe)) << 32) | walker);
+    mix(static_cast<std::uint64_t>(hop));
+    ++deliveries;
+    if (t > last) last = t;
+  }
+};
+
+struct StormCtx {
+  ShardedEngine* se = nullptr;
+  int pes = 0;
+  std::vector<Duration> lat;  ///< dense pes x pes latency table
+  std::vector<StormAcc> acc;  ///< one per shard
+
+  [[nodiscard]] Duration latency(int src, int dst) const noexcept {
+    return lat[static_cast<std::size_t>(src) * static_cast<std::size_t>(pes) +
+               static_cast<std::size_t>(dst)];
+  }
+};
+
+/// Delivery of one walker hop at `pe`; records, then forwards.
+void hop(StormCtx& ctx, int pe, std::uint64_t rng_state, std::uint32_t walker, int hops_left) {
+  const int shard = ctx.se->shardOfPe(pe);
+  Engine& engine = ctx.se->engineOf(shard);
+  ctx.acc[static_cast<std::size_t>(shard)].record(engine.now(), pe, walker, hops_left);
+  if (hops_left <= 0) return;
+  SplitMix64 rng(rng_state);
+  const int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(ctx.pes)));
+  const std::uint64_t next_state = rng.next();
+  const TimePoint at = engine.now() + ctx.latency(pe, dst);
+  ctx.se->post(shard, dst, at,
+               [&ctx, dst, next_state, walker, hops_left] {
+                 hop(ctx, dst, next_state, walker, hops_left - 1);
+               });
+}
+
+}  // namespace
+
+StormResult runMessageStorm(ShardedEngine& se, const StormConfig& cfg,
+                            const std::function<Duration(int, int)>& latency) {
+  StormCtx ctx;
+  ctx.se = &se;
+  ctx.pes = se.plan().num_pes;
+  ctx.lat.resize(static_cast<std::size_t>(ctx.pes) * static_cast<std::size_t>(ctx.pes));
+  for (int a = 0; a < ctx.pes; ++a) {
+    for (int b = 0; b < ctx.pes; ++b) {
+      ctx.lat[static_cast<std::size_t>(a) * static_cast<std::size_t>(ctx.pes) +
+              static_cast<std::size_t>(b)] = latency(a, b);
+    }
+  }
+  ctx.acc.assign(static_cast<std::size_t>(se.shards()), StormAcc{});
+
+  for (int pe = 0; pe < ctx.pes; ++pe) {
+    for (int w = 0; w < cfg.walkers_per_pe; ++w) {
+      const auto walker =
+          static_cast<std::uint32_t>(pe * cfg.walkers_per_pe + w);
+      // Stagger injections so shards do not start in lockstep; the state of
+      // each walker's destination stream depends only on (seed, walker).
+      const auto t0 = static_cast<TimePoint>(walker % 128);
+      SplitMix64 seeder(cfg.seed ^ (0x9E3779B97F4A7C15ULL * (walker + 1)));
+      const std::uint64_t state = seeder.next();
+      const int hops = cfg.hops;
+      se.scheduleOnPe(pe, t0, [&ctx, pe, state, walker, hops] {
+        hop(ctx, pe, state, walker, hops);
+      });
+    }
+  }
+
+  se.run();
+
+  StormResult r;
+  r.hash = 1469598103934665603ULL;
+  const auto mix = [&r](std::uint64_t v) noexcept {
+    r.hash ^= v;
+    r.hash *= 1099511628211ULL;
+  };
+  for (const StormAcc& a : ctx.acc) {
+    mix(a.hash);
+    mix(a.deliveries);
+    r.deliveries += a.deliveries;
+    if (a.last > r.last_delivery) r.last_delivery = a.last;
+  }
+  r.epochs = se.epochs();
+  r.cross_posts = se.crossShardPosts();
+  return r;
+}
+
+}  // namespace cux::sim

@@ -163,6 +163,121 @@ TEST(Engine, StopInterruptsRun) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Engine, RunUntilDrainedAdvancesClockToTarget) {
+  // Epoch loops (the shard coordinator) read now() as "time consumed": the
+  // drained path must advance the clock to the window boundary exactly like
+  // the future-event path does.
+  sim::Engine e;
+  e.schedule(10, [] {});
+  EXPECT_TRUE(e.runUntil(100));
+  EXPECT_EQ(e.now(), 100u);
+  // An entirely empty window advances the clock too.
+  EXPECT_TRUE(e.runUntil(250));
+  EXPECT_EQ(e.now(), 250u);
+}
+
+TEST(Engine, RunUntilNeverRewindsClock) {
+  sim::Engine e;
+  e.schedule(100, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 100u);
+  EXPECT_TRUE(e.runUntil(50));  // drained, target in the past: clock untouched
+  EXPECT_EQ(e.now(), 100u);
+  e.schedule(200, [] {});
+  EXPECT_FALSE(e.runUntil(50));  // future event beyond a past target
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, RunUntilAfterStopAgreesWithEmptyOnTombstoneOnlyHeap) {
+  // stop() with only cancelled tombstones left must report "drained": the
+  // heap is non-empty but holds no live work (live_events_ == 0).
+  sim::Engine e;
+  sim::EventId victim = 0;
+  e.schedule(10, [&] {
+    e.stop();
+    EXPECT_TRUE(e.cancel(victim));
+  });
+  victim = e.schedule(20, [] { FAIL() << "cancelled event fired"; });
+  EXPECT_TRUE(e.runUntil(100));
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.now(), 10u);  // stop path: clock stays at the last event
+}
+
+TEST(Engine, RunUntilStopWithLiveEventsReportsNotDrained) {
+  sim::Engine e;
+  e.schedule(10, [&] { e.stop(); });
+  e.schedule(20, [] {});
+  EXPECT_FALSE(e.runUntil(100));
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.now(), 10u);
+  EXPECT_TRUE(e.runUntil(100));
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, PendingStopIsHonoredByNextRunExactlyOnce) {
+  // A stop() issued outside the run loop is a real request, not a no-op: the
+  // next run call returns before processing anything, consuming the request;
+  // the call after that proceeds normally.
+  sim::Engine e;
+  int ran = 0;
+  e.schedule(10, [&] { ++ran; });
+  e.stop();
+  EXPECT_TRUE(e.stopRequested());
+  e.run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_FALSE(e.stopRequested());
+  e.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Engine, PendingStopAppliesToRunUntilToo) {
+  sim::Engine e;
+  int ran = 0;
+  e.schedule(10, [&] { ++ran; });
+  e.stop();
+  EXPECT_FALSE(e.runUntil(100));  // live event remains: not drained
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.runUntil(100));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Engine, CancelDuringRunUntilLeavesConsistentState) {
+  sim::Engine e;
+  int ran = 0;
+  sim::EventId victim = e.schedule(30, [&] { ++ran; });
+  e.schedule(10, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  e.schedule(20, [&] { ++ran; });
+  EXPECT_TRUE(e.runUntil(50));  // tombstone at 30 is not live work
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.now(), 50u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, PastClampedCountsSilentClamps) {
+  sim::Engine e;
+  EXPECT_EQ(e.pastClamped(), 0u);
+  sim::TimePoint fired_at = 0;
+  e.schedule(100, [&] {
+    e.schedule(10, [&] { fired_at = e.now(); });  // in the past: clamped + counted
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 100u);
+  EXPECT_EQ(e.pastClamped(), 1u);
+}
+
+TEST(Engine, NextEventTimeSkipsTombstones) {
+  sim::Engine e;
+  EXPECT_EQ(e.nextEventTime(), sim::Engine::kNoEvent);
+  auto a = e.schedule(10, [] {});
+  e.schedule(30, [] {});
+  EXPECT_EQ(e.nextEventTime(), 10u);
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.nextEventTime(), 30u);
+  e.run();
+  EXPECT_EQ(e.nextEventTime(), sim::Engine::kNoEvent);
+}
+
 TEST(Engine, ReentrantSchedulingFromCallback) {
   sim::Engine e;
   int depth = 0;

@@ -14,6 +14,7 @@
 ///
 /// Output is CSV on stdout (one row per size / per node count / per rate).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "obs/perfetto.hpp"
 #include "obs/report.hpp"
 #include "sim/fault.hpp"
+#include "sim/shard.hpp"
 
 using namespace cux;
 
@@ -54,13 +56,18 @@ struct Args {
   double drop = 0.0;
   std::uint64_t fault_seed = 0x5eed;
   std::vector<double> drops{0.0, 0.01, 0.02, 0.05, 0.10};  // --metric loss sweep
+  int shards = 4;                                          // --metric shard sweeps 1..N
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match|breakdown  what to measure\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard  what to measure\n"
+      "                                      (shard: SMP-mode sharded event loop —\n"
+      "                                      wall-clock events/s and determinism\n"
+      "                                      check of the message storm at shard\n"
+      "                                      counts 1..--shards; uses --nodes)\n"
       "                                      (match: tag-matching engine occupancy\n"
       "                                      per stack — posted/unexpected\n"
       "                                      high-watermarks, bucket counts, longest\n"
@@ -85,6 +92,8 @@ struct Args {
       "  --fault-seed N                      fault injector seed (default 0x5eed)\n"
       "  --drops a,b,c                       drop rates in %% for --metric loss\n"
       "                                      (default 0,1,2,5,10)\n"
+      "  --shards N                          max shard count for --metric shard\n"
+      "                                      (default 4)\n"
       "  --json                              machine-readable JSON instead of CSV\n"
       "  --perfetto FILE                     (breakdown) write a Chrome trace_event\n"
       "                                      JSON of the last data point's spans,\n"
@@ -160,6 +169,9 @@ Args parse(int argc, char** argv) {
       a.drops.clear();
       for (std::size_t pct : parseSizes(need(i))) a.drops.push_back(static_cast<double>(pct) / 100.0);
       if (a.drops.empty()) usage(argv[0]);
+    } else if (opt == "--shards") {
+      a.shards = std::atoi(need(i));
+      if (a.shards < 1) usage(argv[0]);
     } else if (opt == "--grid") {
       const auto v = parseSizes(need(i));
       if (v.size() != 3) usage(argv[0]);
@@ -518,6 +530,70 @@ int runBreakdown(const Args& a) {
   return 0;
 }
 
+// --metric shard: SMP-mode sharded event loop — wall-clock throughput plus a
+// built-in determinism check (every shard count runs twice and the timeline
+// hashes must agree; a mismatch makes the tool exit nonzero, which is what
+// the CI smoke step relies on).
+int runShard(const Args& a) {
+  const int max_shards = a.shards;
+  if (a.json) std::printf("{\"metric\":\"shard\",\"points\":[");
+  if (!a.json)
+    std::printf("shards,deliveries,wall_ms,events_per_sec,epochs,cross_posts,hash,"
+                "deterministic\n");
+  bool first = true;
+  bool all_ok = true;
+  for (int shards = 1; shards <= max_shards; ++shards) {
+    auto once = [&](double* wall_ms, std::uint64_t* events) {
+      model::Model m = model::summit(a.nodes < 2 ? 2 : a.nodes);
+      m.machine.smp_shards = shards;
+      hw::System sys(m.machine);
+      sim::ShardedEngine se(sys.shardPlan());
+      sim::StormConfig storm;
+      storm.walkers_per_pe = 4;
+      storm.hops = 64;
+      storm.seed = a.fault_seed;
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::StormResult r = sim::runMessageStorm(se, storm, [&sys](int x, int y) {
+        return sys.machine.pathLatency(sys.machine.hostToHostPath(x, y));
+      });
+      const auto t1 = std::chrono::steady_clock::now();
+      *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      *events = se.eventsProcessed();
+      return r;
+    };
+    double ms_a = 0.0, ms_b = 0.0;
+    std::uint64_t ev_a = 0, ev_b = 0;
+    const sim::StormResult ra = once(&ms_a, &ev_a);
+    const sim::StormResult rb = once(&ms_b, &ev_b);
+    const bool ok = ra.hash == rb.hash && ra.deliveries == rb.deliveries &&
+                    ra.last_delivery == rb.last_delivery;
+    all_ok = all_ok && ok;
+    const double evps = ms_a > 0.0 ? static_cast<double>(ev_a) / (ms_a / 1e3) : 0.0;
+    if (a.json) {
+      std::printf("%s{\"shards\":%d,\"deliveries\":%llu,\"wall_ms\":%.3f,"
+                  "\"events_per_sec\":%.0f,\"epochs\":%llu,\"cross_posts\":%llu,"
+                  "\"hash\":\"%016llx\",\"deterministic\":%s}",
+                  first ? "" : ",", shards, static_cast<unsigned long long>(ra.deliveries),
+                  ms_a, evps, static_cast<unsigned long long>(ra.epochs),
+                  static_cast<unsigned long long>(ra.cross_posts),
+                  static_cast<unsigned long long>(ra.hash), ok ? "true" : "false");
+    } else {
+      std::printf("%d,%llu,%.3f,%.0f,%llu,%llu,%016llx,%s\n", shards,
+                  static_cast<unsigned long long>(ra.deliveries), ms_a, evps,
+                  static_cast<unsigned long long>(ra.epochs),
+                  static_cast<unsigned long long>(ra.cross_posts),
+                  static_cast<unsigned long long>(ra.hash), ok ? "yes" : "NO");
+    }
+    first = false;
+  }
+  if (a.json) std::printf("]}\n");
+  if (!all_ok) {
+    std::fprintf(stderr, "shard: DETERMINISM VIOLATION — repeated runs disagreed\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -527,5 +603,6 @@ int main(int argc, char** argv) {
   if (a.metric == "loss") return runLoss(a);
   if (a.metric == "match") return runMatch(a);
   if (a.metric == "breakdown") return runBreakdown(a);
+  if (a.metric == "shard") return runShard(a);
   usage(argv[0]);
 }
