@@ -1,5 +1,8 @@
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coll/coll.hpp"
@@ -7,11 +10,24 @@
 #include "ompi/ompi.hpp"
 #include "ucx/context.hpp"
 
-/// Extension bench (paper Sec. VI future work): GPU-aware collectives
-/// translated to point-to-point calls, vs the host-staging alternative an
-/// application without them must use (cudaMemcpy D2H, collective on host
-/// buffers, cudaMemcpy H2D). Reports allreduce and broadcast completion
-/// times across node counts.
+/// Extension bench (paper Sec. VI future work): the pipelined GPU-aware
+/// collectives from src/coll vs the host-staging alternative an application
+/// without them must use (cudaMemcpy D2H, collective on host buffers,
+/// cudaMemcpy H2D).
+///
+/// Methodology: one persistent world per measurement; every rank runs
+/// `warmup + iters` back-to-back collectives (distinct tag slots, so the
+/// pipeline stays warm exactly as an application's iteration loop would).
+/// The reported figure is the steady-state per-iteration time — the virtual
+/// time between the completion of the last warmup iteration and the last
+/// measured one, divided by `iters` — so the device and host paths run the
+/// identical program shape and only the staging differs (the previous
+/// version of this bench timed one cold collective per fresh world, where
+/// setup effects and the missing warmup swamped the comparison).
+/// Each point is measured 3 times in separate worlds and the median is
+/// reported (the simulator is deterministic; the median equals each run —
+/// recorded anyway so the numbers are comparable with the real-hardware
+/// protocol used across this repo's BENCH files).
 
 using namespace cux;
 
@@ -19,7 +35,7 @@ namespace {
 
 struct Setup {
   explicit Setup(int nodes) : m(model::summit(nodes)) {
-    m.machine.backed_device_memory = false;
+    m.machine.backed_device_memory = false;  // timing-only run
     sys = std::make_unique<hw::System>(m.machine);
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     world = std::make_unique<ompi::World>(*sys, *ctx, m.costs);
@@ -32,7 +48,9 @@ struct Setup {
 
 enum class What { Bcast, Allreduce };
 
-double run(What what, bool gpu_aware, int nodes, std::uint64_t count) {
+/// Steady-state per-iteration time (us) for one (collective, impl, path).
+double runOnce(What what, coll::CollImpl impl, bool gpu_aware, int nodes, std::uint64_t count,
+               int warmup, int iters) {
   Setup s(nodes);
   const int n = s.sys->config.numPes();
   const std::uint64_t bytes = count * 8;
@@ -50,50 +68,152 @@ double run(What what, bool gpu_aware, int nodes, std::uint64_t count) {
     }
   }
 
+  const int total = warmup + iters;
+  std::vector<int> left(static_cast<std::size_t>(total), n);
+  std::vector<sim::TimePoint> done(static_cast<std::size_t>(total), 0);
+  coll::CollConfig cfg;
+  cfg.impl = impl;
+
   s.world->run([&](ompi::Rank& r) -> sim::FutureTask {
     const auto i = static_cast<std::size_t>(r.rank());
-    if (gpu_aware) {
-      if (what == What::Bcast) {
-        co_await coll::bcast(r, dbuf[i]->get(), bytes, 0);
+    for (int it = 0; it < total; ++it) {
+      const int tag = coll::collTag(it);  // distinct tag space per iteration
+      if (gpu_aware) {
+        if (what == What::Bcast) {
+          co_await coll::bcast(r, dbuf[i]->get(), bytes, 0, tag, cfg);
+        } else {
+          co_await coll::allreduce(r, dbuf[i]->get(), dout[i]->get(), count, coll::Op::Sum,
+                                   tag, cfg);
+        }
       } else {
-        co_await coll::allreduce(r, dbuf[i]->get(), dout[i]->get(), count, coll::Op::Sum);
+        // Host-staged: D2H, the same collective on host buffers, H2D.
+        streams[i]->memcpyAsync(hbuf[i].data(), dbuf[i]->get(), bytes,
+                                cuda::MemcpyKind::DeviceToHost);
+        co_await streams[i]->synchronize();
+        if (what == What::Bcast) {
+          co_await coll::bcast(r, hbuf[i].data(), bytes, 0, tag, cfg);
+        } else {
+          co_await coll::allreduce(r, hbuf[i].data(), hout[i].data(), count, coll::Op::Sum,
+                                   tag, cfg);
+        }
+        streams[i]->memcpyAsync(dout[i]->get(), hout[i].data(), bytes,
+                                cuda::MemcpyKind::HostToDevice);
+        co_await streams[i]->synchronize();
       }
-    } else {
-      // Host-staged: D2H, host collective, H2D.
-      streams[i]->memcpyAsync(hbuf[i].data(), dbuf[i]->get(), bytes,
-                              cuda::MemcpyKind::DeviceToHost);
-      co_await streams[i]->synchronize();
-      if (what == What::Bcast) {
-        co_await coll::bcast(r, hbuf[i].data(), bytes, 0);
-      } else {
-        co_await coll::allreduce(r, hbuf[i].data(), hout[i].data(), count, coll::Op::Sum);
-      }
-      streams[i]->memcpyAsync(dout[i]->get(), hout[i].data(), bytes,
-                              cuda::MemcpyKind::HostToDevice);
-      co_await streams[i]->synchronize();
+      const auto slot = static_cast<std::size_t>(it);
+      if (--left[slot] == 0) done[slot] = s.sys->engine.now();
     }
   });
   s.sys->engine.run();
-  return sim::toUs(s.sys->engine.now());
+  const auto first = static_cast<std::size_t>(warmup - 1);
+  const auto last = static_cast<std::size_t>(total - 1);
+  return sim::toUs(done[last] - done[first]) / iters;
 }
+
+double median3(What what, coll::CollImpl impl, bool gpu_aware, int nodes, std::uint64_t count,
+               int warmup, int iters) {
+  double t[3];
+  for (double& v : t) v = runOnce(what, impl, gpu_aware, nodes, count, warmup, iters);
+  std::sort(t, t + 3);
+  return t[1];
+}
+
+struct Point {
+  const char* op;
+  coll::CollImpl impl;
+  std::uint64_t bytes;
+  double device_us;
+  double host_us;
+};
 
 }  // namespace
 
-int main() {
-  std::printf("# Extension: GPU-aware collectives over point-to-point (paper Sec. VI)\n");
-  std::printf("# completion time (us), 1 MiB of doubles per rank\n\n");
-  const std::uint64_t count = (1u << 20) / 8;
-  std::printf("%-6s %12s %12s %8s | %12s %12s %8s\n", "nodes", "bcast-D", "bcast-H", "x",
-              "allred-D", "allred-H", "x");
-  for (int nodes : {1, 2, 4, 8, 16}) {
-    const double bd = run(What::Bcast, true, nodes, count);
-    const double bh = run(What::Bcast, false, nodes, count);
-    const double ad = run(What::Allreduce, true, nodes, count);
-    const double ah = run(What::Allreduce, false, nodes, count);
-    std::printf("%-6d %12.1f %12.1f %7.1fx | %12.1f %12.1f %7.1fx\n", nodes, bd, bh, bh / bd,
-                ad, ah, ah / ad);
+int main(int argc, char** argv) {
+  bool json = false;
+  int nodes = 2;
+  int iters = 3;
+  const int warmup = 1;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0) json = true;
+    if (std::strcmp(argv[a], "--nodes") == 0 && a + 1 < argc) nodes = std::atoi(argv[++a]);
+    if (std::strcmp(argv[a], "--iters") == 0 && a + 1 < argc) iters = std::atoi(argv[++a]);
   }
-  std::printf("\nGPU-aware collectives inherit the point-to-point advantage; the staged\n"
-              "variant pays host copies once per rank plus the slower host wire path.\n");
+
+  const std::vector<std::uint64_t> sizes = {64u << 10, 256u << 10, 1u << 20, 4u << 20,
+                                            16u << 20};
+  const std::vector<std::pair<What, const char*>> ops = {{What::Allreduce, "allreduce"},
+                                                         {What::Bcast, "bcast"}};
+  const std::vector<coll::CollImpl> impls = {coll::CollImpl::Ring, coll::CollImpl::Tree,
+                                             coll::CollImpl::Reference};
+  std::vector<Point> points;
+  for (const auto& [what, opname] : ops) {
+    for (const coll::CollImpl impl : impls) {
+      for (const std::uint64_t bytes : sizes) {
+        const std::uint64_t count = bytes / 8;
+        Point p{opname, impl, bytes, 0, 0};
+        p.device_us = median3(what, impl, true, nodes, count, warmup, iters);
+        p.host_us = median3(what, impl, false, nodes, count, warmup, iters);
+        points.push_back(p);
+      }
+    }
+  }
+
+  // Acceptance: the chunked device-path allreduce beats host staging at
+  // every size >= 1 MiB for both pipelined impls.
+  double min_speedup = 1e30;
+  for (const Point& p : points) {
+    if (std::strcmp(p.op, "allreduce") != 0 || p.impl == coll::CollImpl::Reference) continue;
+    if (p.bytes < (1u << 20)) continue;
+    min_speedup = std::min(min_speedup, p.host_us / p.device_us);
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf(
+        "  \"description\": \"Pipelined GPU-aware collectives (src/coll) vs host-staged "
+        "emulation, %d-node summit model (%d ranks), steady-state per-iteration time.\",\n",
+        nodes, 6 * nodes);
+    std::printf("  \"methodology\": {\n");
+    std::printf("    \"command\": \"./build/bench/ext_collectives --json\",\n");
+    std::printf(
+        "    \"statistic\": \"median of 3 worlds; per world, mean of %d warm iterations "
+        "after %d warmup (persistent ranks, distinct tag slot per iteration)\",\n",
+        iters, warmup);
+    std::printf(
+        "    \"notes\": \"device and host paths run the identical iteration loop; the host "
+        "path adds D2H before and H2D after each collective and reduces on host buffers. "
+        "The simulator is deterministic, so the median equals every run.\"\n");
+    std::printf("  },\n");
+    std::printf("  \"acceptance\": {\n");
+    std::printf(
+        "    \"criterion\": \"chunked device-path allreduce beats host-staged at >= 1 "
+        "MiB\",\n");
+    std::printf("    \"result\": \"min speedup %.2fx over ring+tree at 1..16 MiB\"\n",
+                min_speedup);
+    std::printf("  },\n");
+    std::printf("  \"results\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::printf(
+          "    {\"op\": \"%s\", \"impl\": \"%s\", \"bytes\": %llu, \"device_us\": %.2f, "
+          "\"host_us\": %.2f, \"speedup\": %.2f}%s\n",
+          p.op, coll::name(p.impl), static_cast<unsigned long long>(p.bytes), p.device_us,
+          p.host_us, p.host_us / p.device_us, i + 1 < points.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("# Extension: pipelined GPU-aware collectives vs host staging\n");
+  std::printf("# %d nodes (%d ranks), steady-state us/iteration, median of 3\n\n", nodes,
+              6 * nodes);
+  std::printf("%-10s %-10s %10s %12s %12s %8s\n", "op", "impl", "bytes", "device", "host",
+              "speedup");
+  for (const Point& p : points) {
+    std::printf("%-10s %-10s %10llu %12.1f %12.1f %7.2fx\n", p.op, coll::name(p.impl),
+                static_cast<unsigned long long>(p.bytes), p.device_us, p.host_us,
+                p.host_us / p.device_us);
+  }
+  std::printf("\nmin device speedup (allreduce, ring/tree, >= 1 MiB): %.2fx\n", min_speedup);
   return 0;
 }

@@ -129,23 +129,31 @@ namespace {
 }  // namespace
 
 sim::Future<void> Rank::bcast(void* buf, std::uint64_t bytes, int root) {
-  return coll::bcast(*this, buf, bytes, root).future();
+  return coll::bcast(*this, buf, bytes, root, coll::kCollTagBase, world_->coll_cfg_).future();
 }
 sim::Future<void> Rank::reduce(const void* sendbuf, void* recvbuf, std::uint64_t count,
                                int op, int root) {
-  return coll::reduce(*this, sendbuf, recvbuf, count, collOp(op), root).future();
+  return coll::reduce(*this, sendbuf, recvbuf, count, collOp(op), root, coll::kCollTagBase,
+                      world_->coll_cfg_)
+      .future();
 }
 sim::Future<void> Rank::allreduce(const void* sendbuf, void* recvbuf, std::uint64_t count,
                                   int op) {
-  return coll::allreduce(*this, sendbuf, recvbuf, count, collOp(op)).future();
+  return coll::allreduce(*this, sendbuf, recvbuf, count, collOp(op), coll::kCollTagBase,
+                         world_->coll_cfg_)
+      .future();
 }
 sim::Future<void> Rank::allgather(const void* sendbuf, void* recvbuf,
                                   std::uint64_t bytes_each) {
-  return coll::allgather(*this, sendbuf, recvbuf, bytes_each).future();
+  return coll::allgather(*this, sendbuf, recvbuf, bytes_each, coll::kCollTagBase,
+                         world_->coll_cfg_)
+      .future();
 }
 sim::Future<void> Rank::alltoall(const void* sendbuf, void* recvbuf,
                                  std::uint64_t bytes_each) {
-  return coll::alltoall(*this, sendbuf, recvbuf, bytes_each).future();
+  return coll::alltoall(*this, sendbuf, recvbuf, bytes_each, coll::kCollTagBase,
+                        world_->coll_cfg_)
+      .future();
 }
 sim::Future<void> Rank::gather(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
                                int root) {
@@ -154,6 +162,75 @@ sim::Future<void> Rank::gather(const void* sendbuf, void* recvbuf, std::uint64_t
 sim::Future<void> Rank::scatter(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
                                 int root) {
   return coll::scatter(*this, sendbuf, recvbuf, bytes_each, root).future();
+}
+sim::Future<void> Rank::reduceScatter(const void* sendbuf, void* recvbuf,
+                                      std::uint64_t count_each, int op) {
+  return coll::reduceScatter(*this, sendbuf, recvbuf, count_each, collOp(op),
+                             coll::kCollTagBase, world_->coll_cfg_)
+      .future();
+}
+
+// Sub-communicator collectives run over a CommRank *copy* held in the
+// coroutine frame, so the view stays alive for the whole collective even
+// though the caller's temporaries are gone.
+namespace {
+sim::FutureTask commBcast(CommRank cr, void* buf, std::uint64_t bytes, int root,
+                          coll::CollConfig cfg) {
+  co_await coll::bcast(cr, buf, bytes, root, coll::kCollTagBase, cfg);
+}
+sim::FutureTask commReduce(CommRank cr, const void* sendbuf, void* recvbuf,
+                           std::uint64_t count, coll::Op op, int root, coll::CollConfig cfg) {
+  co_await coll::reduce(cr, sendbuf, recvbuf, count, op, root, coll::kCollTagBase, cfg);
+}
+sim::FutureTask commAllreduce(CommRank cr, const void* sendbuf, void* recvbuf,
+                              std::uint64_t count, coll::Op op, coll::CollConfig cfg) {
+  co_await coll::allreduce(cr, sendbuf, recvbuf, count, op, coll::kCollTagBase, cfg);
+}
+sim::FutureTask commAllgather(CommRank cr, const void* sendbuf, void* recvbuf,
+                              std::uint64_t bytes_each, coll::CollConfig cfg) {
+  co_await coll::allgather(cr, sendbuf, recvbuf, bytes_each, coll::kCollTagBase, cfg);
+}
+sim::FutureTask commAlltoall(CommRank cr, const void* sendbuf, void* recvbuf,
+                             std::uint64_t bytes_each, coll::CollConfig cfg) {
+  co_await coll::alltoall(cr, sendbuf, recvbuf, bytes_each, coll::kCollTagBase, cfg);
+}
+sim::FutureTask commReduceScatter(CommRank cr, const void* sendbuf, void* recvbuf,
+                                  std::uint64_t count_each, coll::Op op,
+                                  coll::CollConfig cfg) {
+  co_await coll::reduceScatter(cr, sendbuf, recvbuf, count_each, op, coll::kCollTagBase, cfg);
+}
+}  // namespace
+
+sim::Future<void> Rank::bcast(void* buf, std::uint64_t bytes, int root, const Comm& comm) {
+  return commBcast(CommRank(*this, comm), buf, bytes, root, world_->coll_cfg_).future();
+}
+sim::Future<void> Rank::reduce(const void* sendbuf, void* recvbuf, std::uint64_t count, int op,
+                               int root, const Comm& comm) {
+  return commReduce(CommRank(*this, comm), sendbuf, recvbuf, count, collOp(op), root,
+                    world_->coll_cfg_)
+      .future();
+}
+sim::Future<void> Rank::allreduce(const void* sendbuf, void* recvbuf, std::uint64_t count,
+                                  int op, const Comm& comm) {
+  return commAllreduce(CommRank(*this, comm), sendbuf, recvbuf, count, collOp(op),
+                       world_->coll_cfg_)
+      .future();
+}
+sim::Future<void> Rank::allgather(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
+                                  const Comm& comm) {
+  return commAllgather(CommRank(*this, comm), sendbuf, recvbuf, bytes_each, world_->coll_cfg_)
+      .future();
+}
+sim::Future<void> Rank::alltoall(const void* sendbuf, void* recvbuf, std::uint64_t bytes_each,
+                                 const Comm& comm) {
+  return commAlltoall(CommRank(*this, comm), sendbuf, recvbuf, bytes_each, world_->coll_cfg_)
+      .future();
+}
+sim::Future<void> Rank::reduceScatter(const void* sendbuf, void* recvbuf,
+                                      std::uint64_t count_each, int op, const Comm& comm) {
+  return commReduceScatter(CommRank(*this, comm), sendbuf, recvbuf, count_each, collOp(op),
+                           world_->coll_cfg_)
+      .future();
 }
 
 sim::Future<void> Rank::sendrecv(const void* sbuf, std::uint64_t sbytes, int dst, int stag,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "charm/charm.hpp"
+#include "coll/coll.hpp"
 #include "sim/bucket_fifo.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
@@ -174,6 +175,27 @@ class Rank {
                                          std::uint64_t bytes_each, int root);
   [[nodiscard]] sim::Future<void> scatter(const void* sendbuf, void* recvbuf,
                                           std::uint64_t bytes_each, int root);
+  /// MPI_Reduce_scatter_block: sendbuf holds size()*count_each doubles; rank
+  /// i gets the reduction of everyone's block i.
+  [[nodiscard]] sim::Future<void> reduceScatter(const void* sendbuf, void* recvbuf,
+                                                std::uint64_t count_each_doubles, int op);
+
+  // --- collectives over a sub-communicator (ranks/roots comm-local) -------
+  [[nodiscard]] sim::Future<void> bcast(void* buf, std::uint64_t bytes, int root,
+                                        const Comm& comm);
+  [[nodiscard]] sim::Future<void> reduce(const void* sendbuf, void* recvbuf,
+                                         std::uint64_t count_doubles, int op, int root,
+                                         const Comm& comm);
+  [[nodiscard]] sim::Future<void> allreduce(const void* sendbuf, void* recvbuf,
+                                            std::uint64_t count_doubles, int op,
+                                            const Comm& comm);
+  [[nodiscard]] sim::Future<void> allgather(const void* sendbuf, void* recvbuf,
+                                            std::uint64_t bytes_each, const Comm& comm);
+  [[nodiscard]] sim::Future<void> alltoall(const void* sendbuf, void* recvbuf,
+                                           std::uint64_t bytes_each, const Comm& comm);
+  [[nodiscard]] sim::Future<void> reduceScatter(const void* sendbuf, void* recvbuf,
+                                                std::uint64_t count_each_doubles, int op,
+                                                const Comm& comm);
 
   /// MPI_Sendrecv: simultaneous send and receive (deadlock-free pairwise
   /// exchange).
@@ -234,6 +256,33 @@ class CommRank {
     return r_.waitAll(rs);
   }
 
+  // --- collectives over the communicator (comm-local ranks/roots). The
+  // CommRank is copied into the collective's coroutine frame, so a temporary
+  // view is safe even when the future outlives it.
+  [[nodiscard]] sim::Future<void> bcast(void* buf, std::uint64_t bytes, int root) {
+    return r_.bcast(buf, bytes, root, comm_);
+  }
+  [[nodiscard]] sim::Future<void> reduce(const void* sendbuf, void* recvbuf,
+                                         std::uint64_t count_doubles, int op, int root) {
+    return r_.reduce(sendbuf, recvbuf, count_doubles, op, root, comm_);
+  }
+  [[nodiscard]] sim::Future<void> allreduce(const void* sendbuf, void* recvbuf,
+                                            std::uint64_t count_doubles, int op) {
+    return r_.allreduce(sendbuf, recvbuf, count_doubles, op, comm_);
+  }
+  [[nodiscard]] sim::Future<void> allgather(const void* sendbuf, void* recvbuf,
+                                            std::uint64_t bytes_each) {
+    return r_.allgather(sendbuf, recvbuf, bytes_each, comm_);
+  }
+  [[nodiscard]] sim::Future<void> alltoall(const void* sendbuf, void* recvbuf,
+                                           std::uint64_t bytes_each) {
+    return r_.alltoall(sendbuf, recvbuf, bytes_each, comm_);
+  }
+  [[nodiscard]] sim::Future<void> reduceScatter(const void* sendbuf, void* recvbuf,
+                                                std::uint64_t count_each_doubles, int op) {
+    return r_.reduceScatter(sendbuf, recvbuf, count_each_doubles, op, comm_);
+  }
+
  private:
   Rank& r_;
   Comm comm_;
@@ -267,6 +316,12 @@ class World {
   /// Aggregated matching-engine occupancy across every rank's posted /
   /// unexpected stores (`gpucomm_sweep --metric match`).
   [[nodiscard]] ucx::Worker::MatchStats matchStats() const;
+
+  /// Collective algorithm selection and pipelining parameters applied to
+  /// every MPI-level collective issued through this world (the MPICH-style
+  /// CVAR knob; per-call control is available via the coll:: templates).
+  void setCollConfig(const coll::CollConfig& cfg) noexcept { coll_cfg_ = cfg; }
+  [[nodiscard]] const coll::CollConfig& collConfig() const noexcept { return coll_cfg_; }
 
  private:
   friend class Rank;
@@ -339,6 +394,7 @@ class World {
   sim::Promise<void> done_;
   std::unordered_map<const void*, bool> device_cache_;
   std::unordered_map<int, std::shared_ptr<const std::vector<int>>> comms_;
+  coll::CollConfig coll_cfg_;
   int next_comm_id_ = 1;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;

@@ -1,0 +1,335 @@
+#include "apps/train/train.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "ampi/ampi.hpp"
+#include "coll/c4p_group.hpp"
+#include "coll/charm_section.hpp"
+#include "hw/cuda.hpp"
+#include "model/model.hpp"
+#include "ucx/context.hpp"
+
+namespace cux::train {
+
+const char* name(Stack s) {
+  switch (s) {
+    case Stack::Ampi:
+      return "AMPI";
+    case Stack::Charm:
+      return "Charm++";
+    case Stack::Charm4py:
+      return "Charm4py";
+  }
+  return "?";
+}
+
+std::optional<Stack> parseStack(std::string_view s) {
+  if (s == "ampi") return Stack::Ampi;
+  if (s == "charm") return Stack::Charm;
+  if (s == "charm4py" || s == "c4p") return Stack::Charm4py;
+  return std::nullopt;
+}
+
+namespace {
+
+/// One gradient bucket: the layers whose gradients it fuses (backward
+/// order) and each layer's offset within the fused buffer.
+struct BucketDef {
+  std::vector<int> layers;
+  std::vector<std::uint64_t> offsets;  ///< per layer, in doubles
+  std::uint64_t count = 0;             ///< total doubles
+};
+
+[[nodiscard]] std::vector<BucketDef> makeBuckets(const TrainConfig& cfg) {
+  std::vector<BucketDef> out;
+  BucketDef cur;
+  for (int l = static_cast<int>(cfg.layer_params.size()) - 1; l >= 0; --l) {
+    cur.layers.push_back(l);
+    cur.offsets.push_back(cur.count);
+    cur.count += cfg.layer_params[static_cast<std::size_t>(l)];
+    if (cur.count * 8 >= cfg.bucket_bytes) {
+      out.push_back(std::move(cur));
+      cur = {};
+    }
+  }
+  if (cur.count > 0) out.push_back(std::move(cur));
+  return out;
+}
+
+/// The analytic gradient value layer l writes at element j on `rank`.
+[[nodiscard]] double gradValue(int rank, int l, std::uint64_t j) {
+  return static_cast<double>(rank + 1) +
+         static_cast<double>((static_cast<std::uint64_t>(l) * 31 + j) % 5);
+}
+/// Its allreduce(Sum) result over n ranks — integer-valued, so the sum is
+/// exact in any combination order and bitwise identical on every replica.
+[[nodiscard]] double gradSum(int n, int l, std::uint64_t j) {
+  return static_cast<double>(n) * static_cast<double>(n + 1) / 2.0 +
+         static_cast<double>(n) * static_cast<double>((static_cast<std::uint64_t>(l) * 31 + j) % 5);
+}
+
+struct Shared {
+  TrainConfig cfg;
+  hw::System* sys = nullptr;
+  std::vector<BucketDef> buckets;
+  // Rank-0 per-step scratch.
+  double step_t0 = 0;
+  double backward_done_us = 0;
+  std::vector<double> b_start, b_end;
+  std::vector<StepStat> stats;
+  // Completion + verification.
+  int remaining_ranks = 0;
+  sim::Promise<void> all_done;
+  bool verify_ok = true;
+};
+
+struct RankCtx {
+  int rank = -1;
+  int pe = -1;
+  std::vector<void*> grads;                 ///< per-bucket pool allocation (per step)
+  std::vector<std::vector<double>> host;    ///< per-bucket host staging
+  std::unique_ptr<cuda::Stream> compute;
+  std::unique_ptr<cuda::Stream> comm;       ///< staging copies (host_staged mode)
+};
+
+[[nodiscard]] sim::Duration kernelCost(hw::System& sys, std::uint64_t params,
+                                       double bytes_per_param) {
+  return sim::transferTime(static_cast<std::uint64_t>(static_cast<double>(params) * bytes_per_param),
+                           sys.config.gpu_mem_bandwidth_gbps * 0.8);
+}
+
+/// Allreduces bucket `b` once its backward kernels are done. Detached; the
+/// backward loop keeps enqueueing kernels for earlier layers meanwhile.
+template <class RankT>
+sim::FutureTask bucketTask(RankT r, Shared* sh, RankCtx* me, int step, int b,
+                           sim::Future<void> grads_ready, sim::Promise<void> done) {
+  co_await grads_ready;
+  hw::System& sys = *sh->sys;
+  const BucketDef& bd = sh->buckets[static_cast<std::size_t>(b)];
+  void* g = me->grads[static_cast<std::size_t>(b)];
+  const double t0 = sim::toUs(sys.engine.now());
+  if (me->rank == 0 && b == static_cast<int>(sh->buckets.size()) - 1) {
+    sh->backward_done_us = t0;  // last bucket ready == backward finished
+  }
+  // One tag slot per (step, bucket): concurrent bucket allreduces never
+  // share tags, and step s+1 stragglers cannot collide with step s.
+  const int tag = coll::collTag(step * static_cast<int>(sh->buckets.size()) + b);
+
+  if (sh->cfg.host_staged) {
+    auto& h = me->host[static_cast<std::size_t>(b)];
+    me->comm->memcpyAsync(h.data(), g, bd.count * 8, cuda::MemcpyKind::DeviceToHost);
+    co_await me->comm->synchronize();
+    co_await coll::allreduce(r, h.data(), h.data(), bd.count, coll::Op::Sum, tag, sh->cfg.coll);
+    me->comm->memcpyAsync(g, h.data(), bd.count * 8, cuda::MemcpyKind::HostToDevice);
+    co_await me->comm->synchronize();
+  } else {
+    co_await coll::allreduce(r, g, g, bd.count, coll::Op::Sum, tag, sh->cfg.coll);
+  }
+
+  if (me->rank == 0) {
+    sh->b_start[static_cast<std::size_t>(b)] = t0;
+    sh->b_end[static_cast<std::size_t>(b)] = sim::toUs(sys.engine.now());
+  }
+  done.set();
+}
+
+/// The per-rank training program; RankT is any coll:: rank surface and
+/// laneRank(b) yields the rank handle bucket b's allreduce runs on (the
+/// same handle everywhere except Charm4py, where each bucket gets its own
+/// channel lane).
+template <class RankT, class LaneFn>
+sim::FutureTask trainMain(RankT r, LaneFn laneRank, Shared* sh, RankCtx* me) {
+  hw::System& sys = *sh->sys;
+  const TrainConfig& cfg = sh->cfg;
+  const int L = static_cast<int>(cfg.layer_params.size());
+  const int nb = static_cast<int>(sh->buckets.size());
+  const bool backed = sys.config.backed_device_memory;
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    if (me->rank == 0) sh->step_t0 = sim::toUs(sys.engine.now());
+
+    // --- forward -----------------------------------------------------------
+    for (int l = 0; l < L; ++l) {
+      me->compute->launch(
+          kernelCost(sys, cfg.layer_params[static_cast<std::size_t>(l)], cfg.fwd_bytes_per_param));
+    }
+    co_await me->compute->synchronize();
+
+    // --- backward, bucketed ------------------------------------------------
+    // Gradient buffers come from the device pool every step (ChainerMN's
+    // CuPy pattern): step 0 misses, later steps are freelist hits.
+    for (int b = 0; b < nb; ++b) {
+      me->grads[static_cast<std::size_t>(b)] =
+          sys.pool.alloc(me->pe, sh->buckets[static_cast<std::size_t>(b)].count * 8, backed);
+    }
+    std::vector<sim::Future<void>> bucket_done;
+    for (int b = 0; b < nb; ++b) {
+      const BucketDef& bd = sh->buckets[static_cast<std::size_t>(b)];
+      for (std::size_t i = 0; i < bd.layers.size(); ++i) {
+        const int l = bd.layers[i];
+        const std::uint64_t params = cfg.layer_params[static_cast<std::size_t>(l)];
+        double* gbase = static_cast<double*>(me->grads[static_cast<std::size_t>(b)]) + bd.offsets[i];
+        const bool real = cfg.verify && sys.memory.dereferenceable(gbase);
+        const int rank = me->rank;
+        me->compute->launch(kernelCost(sys, params, cfg.bwd_bytes_per_param),
+                            [real, gbase, params, rank, l] {
+                              if (!real) return;
+                              for (std::uint64_t j = 0; j < params; ++j) {
+                                gbase[j] = gradValue(rank, l, j);
+                              }
+                            });
+      }
+      // The sync future completes when all kernels enqueued so far are done
+      // — i.e. when this bucket's gradients are final.
+      sim::Promise<void> done;
+      bucket_done.push_back(done.future());
+      (void)bucketTask(laneRank(b), sh, me, step, b, me->compute->synchronize(),
+                       std::move(done));
+    }
+    for (auto& f : bucket_done) co_await f;
+
+    if (me->rank == 0) {
+      StepStat st;
+      st.compute_us = sh->backward_done_us - sh->step_t0;
+      double first = sh->b_start[0], last = sh->b_end[0];
+      for (int b = 0; b < nb; ++b) {
+        first = std::min(first, sh->b_start[static_cast<std::size_t>(b)]);
+        last = std::max(last, sh->b_end[static_cast<std::size_t>(b)]);
+        st.bucket_sum_us +=
+            sh->b_end[static_cast<std::size_t>(b)] - sh->b_start[static_cast<std::size_t>(b)];
+      }
+      st.allreduce_wall_us = last - first;
+      sh->stats.push_back(st);
+    }
+
+    // --- verify the reduced gradients (sampled, bit-exact) -----------------
+    if (cfg.verify && backed && step == cfg.steps - 1) {
+      for (int b = 0; b < nb; ++b) {
+        const BucketDef& bd = sh->buckets[static_cast<std::size_t>(b)];
+        const auto* gb = static_cast<const double*>(me->grads[static_cast<std::size_t>(b)]);
+        for (std::size_t i = 0; i < bd.layers.size(); ++i) {
+          const std::uint64_t params = cfg.layer_params[static_cast<std::size_t>(bd.layers[i])];
+          for (std::uint64_t j = 0; j < params; j = j + 97) {
+            if (gb[bd.offsets[i] + j] != gradSum(cfg.ranks, bd.layers[i], j)) {
+              sh->verify_ok = false;
+            }
+          }
+          if (gb[bd.offsets[i] + params - 1] != gradSum(cfg.ranks, bd.layers[i], params - 1)) {
+            sh->verify_ok = false;
+          }
+        }
+      }
+    }
+
+    // --- optimizer ---------------------------------------------------------
+    const double opt_t0 = sim::toUs(sys.engine.now());
+    me->compute->launch(kernelCost(sys, cfg.totalParams(), cfg.opt_bytes_per_param));
+    co_await me->compute->synchronize();
+    for (int b = 0; b < nb; ++b) {
+      sys.pool.free(me->grads[static_cast<std::size_t>(b)]);
+      me->grads[static_cast<std::size_t>(b)] = nullptr;
+    }
+    if (me->rank == 0) {
+      StepStat& st = sh->stats.back();
+      st.optimizer_us = sim::toUs(sys.engine.now()) - opt_t0;
+      st.step_us = sim::toUs(sys.engine.now()) - sh->step_t0;
+    }
+  }
+
+  if (--sh->remaining_ranks == 0) sh->all_done.set();
+}
+
+}  // namespace
+
+TrainResult runTrain(const TrainConfig& cfg, Stack stack) {
+  model::Model m = model::summit(cfg.nodes);
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  ck::Runtime rt(sys, ctx, m);
+  assert(cfg.ranks >= 1 && cfg.ranks <= rt.numPes() && "one worker per PE");
+
+  Shared sh;
+  sh.cfg = cfg;
+  sh.sys = &sys;
+  sh.buckets = makeBuckets(cfg);
+  const int nb = static_cast<int>(sh.buckets.size());
+  sh.b_start.assign(static_cast<std::size_t>(nb), 0);
+  sh.b_end.assign(static_cast<std::size_t>(nb), 0);
+  sh.remaining_ranks = cfg.ranks;
+
+  std::vector<std::unique_ptr<RankCtx>> rank_ctx;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    auto c = std::make_unique<RankCtx>();
+    c->rank = r;
+    c->pe = r;  // one worker per PE, PEs [0, ranks)
+    c->grads.assign(static_cast<std::size_t>(nb), nullptr);
+    c->compute = std::make_unique<cuda::Stream>(sys, c->pe);
+    c->comm = std::make_unique<cuda::Stream>(sys, c->pe);
+    if (cfg.host_staged) {
+      for (int b = 0; b < nb; ++b) {
+        c->host.emplace_back(sh.buckets[static_cast<std::size_t>(b)].count, 0.0);
+      }
+    }
+    rank_ctx.push_back(std::move(c));
+  }
+
+  std::unique_ptr<ampi::World> ampi_world;
+  std::unique_ptr<coll::CharmSection> section;
+  std::unique_ptr<c4p::Charm4py> py;
+  std::unique_ptr<coll::C4pGroup> group;
+  std::vector<int> pes;
+  for (int r = 0; r < cfg.ranks; ++r) pes.push_back(r);
+
+  switch (stack) {
+    case Stack::Ampi: {
+      ampi_world = std::make_unique<ampi::World>(rt, cfg.ranks);
+      ampi_world->setCollConfig(cfg.coll);
+      ampi_world->run([&sh, &rank_ctx](ampi::Rank& r) -> sim::FutureTask {
+        RankCtx* me = rank_ctx[static_cast<std::size_t>(r.rank())].get();
+        return trainMain(r, [r](int) { return r; }, &sh, me);
+      });
+      break;
+    }
+    case Stack::Charm: {
+      section = std::make_unique<coll::CharmSection>(rt, pes);
+      for (int r = 0; r < cfg.ranks; ++r) {
+        RankCtx* me = rank_ctx[static_cast<std::size_t>(r)].get();
+        coll::SectionRank sr = section->rank(r);
+        rt.startOn(me->pe, [sr, &sh, me] {
+          (void)trainMain(sr, [sr](int) { return sr; }, &sh, me);
+        });
+      }
+      break;
+    }
+    case Stack::Charm4py: {
+      py = std::make_unique<c4p::Charm4py>(rt);
+      group = std::make_unique<coll::C4pGroup>(*py, pes, nb);
+      for (int r = 0; r < cfg.ranks; ++r) {
+        RankCtx* me = rank_ctx[static_cast<std::size_t>(r)].get();
+        coll::C4pGroup* g = group.get();
+        py->startOn(me->pe, [g, r, &sh, me] {
+          (void)trainMain(g->rank(r, 0), [g, r](int b) { return g->rank(r, b); }, &sh, me);
+        });
+      }
+      break;
+    }
+  }
+
+  sys.engine.run();
+  assert(sh.all_done.future().ready() && "training run deadlocked");
+
+  TrainResult out;
+  out.stack = stack;
+  out.ranks = cfg.ranks;
+  out.buckets = nb;
+  out.steps = std::move(sh.stats);
+  out.verified = cfg.verify && sys.config.backed_device_memory && sh.verify_ok;
+  out.pool_hits = sys.pool.hits();
+  out.pool_misses = sys.pool.misses();
+  out.total_us = sim::toUs(sys.engine.now());
+  return out;
+}
+
+}  // namespace cux::train

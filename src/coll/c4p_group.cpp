@@ -1,0 +1,53 @@
+#include "coll/c4p_group.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace cux::coll {
+
+int C4pRank::size() const { return grp_->size(); }
+int C4pRank::pe() const { return grp_->peOf(rank_); }
+hw::System& C4pRank::system() const { return grp_->py_.system(); }
+
+C4pReq C4pRank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  (void)tag;  // channels match by FIFO order, not tags
+  return C4pReq{grp_->end(lane_, rank_, dst)->send(buf, bytes)};
+}
+
+C4pReq C4pRank::irecv(void* buf, std::uint64_t bytes, int src, int tag) {
+  (void)tag;
+  return C4pReq{grp_->end(lane_, rank_, src)->recv(buf, bytes)};
+}
+
+sim::Future<void> C4pRank::waitAll(const std::vector<C4pReq>& rs) {
+  sim::Promise<void> all;
+  auto remaining = std::make_shared<int>(static_cast<int>(rs.size()));
+  if (*remaining == 0) {
+    all.set();
+    return all.future();
+  }
+  for (const C4pReq& r : rs) {
+    r.f.onReady([all, remaining] {
+      if (--*remaining == 0) all.set();
+    });
+  }
+  return all.future();
+}
+
+C4pGroup::C4pGroup(c4p::Charm4py& py, std::vector<int> pes, int lanes)
+    : py_(py), pes_(std::move(pes)), lanes_(lanes < 1 ? 1 : lanes) {
+  const std::size_t n = pes_.size();
+  ends_.resize(static_cast<std::size_t>(lanes_));
+  for (auto& lane : ends_) lane.assign(n * n, nullptr);
+  for (int l = 0; l < lanes_; ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        c4p::Channel ch = py_.makeChannel(pes_[i], pes_[j]);
+        ends_[static_cast<std::size_t>(l)][i * n + j] = ch.a;
+        ends_[static_cast<std::size_t>(l)][j * n + i] = ch.b;
+      }
+    }
+  }
+}
+
+}  // namespace cux::coll

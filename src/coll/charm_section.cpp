@@ -1,0 +1,151 @@
+#include "coll/charm_section.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "hw/cuda.hpp"
+#include "hw/system.hpp"
+
+namespace cux::coll {
+
+namespace {
+
+[[nodiscard]] std::uint64_t matchKey(int src, std::uint64_t tag) {
+  return (tag << 16) | static_cast<std::uint64_t>(static_cast<std::uint32_t>(src) & 0xffffu);
+}
+
+/// Modelled cost of draining a staged segment into the late-posted user
+/// buffer: a device-to-device copy, both directions through HBM.
+[[nodiscard]] sim::Duration stagedCopyCost(hw::System& sys, std::uint64_t bytes) {
+  return sim::transferTime(2 * bytes, sys.config.gpu_mem_bandwidth_gbps);
+}
+
+}  // namespace
+
+// --- SectionMailbox --------------------------------------------------------
+
+void SectionMailbox::segPost(std::span<ck::Buffer> bufs, ck::Unpacker& u) {
+  const auto src = u.unpack<std::int32_t>();
+  const auto tag = u.unpack<std::uint64_t>();
+  const std::uint64_t k = matchKey(src, tag);
+  ck::Buffer& b = bufs[0];
+
+  auto& posted = posted_[k];
+  Arrival arr;
+  if (!posted.empty()) {
+    // A matching receive is already waiting: land directly in its buffer.
+    arr.staged = false;
+    arr.pr = std::move(posted.front());
+    posted.pop_front();
+    assert(arr.pr.capacity >= b.size() && "posted section recv smaller than arriving segment");
+    b.setDestination(arr.pr.buf, arr.pr.capacity);
+  } else {
+    // Unexpected arrival: post entries must choose a destination now, so
+    // stage into pool-backed device memory on this PE.
+    hw::System& sys = owner_->system();
+    arr.staged = true;
+    arr.stage = sys.pool.alloc(myPe(), b.size(), sys.config.backed_device_memory);
+    b.setDestination(arr.stage, b.size());
+  }
+  inflight_[k].push_back(std::move(arr));
+}
+
+void SectionMailbox::seg(ck::Buffer b, std::int32_t src, std::uint64_t tag) {
+  const std::uint64_t k = matchKey(src, tag);
+  auto& inflight = inflight_[k];
+  assert(!inflight.empty() && "seg entry ran without a post-entry decision");
+  Arrival arr = std::move(inflight.front());
+  inflight.pop_front();
+
+  if (!arr.staged) {
+    // Payload already landed in the user buffer (zero-copy receive).
+    arr.pr.done.set();
+    return;
+  }
+  auto& posted = posted_[k];
+  if (!posted.empty()) {
+    // The receive was posted between metadata arrival and payload landing.
+    PostedRecv pr = std::move(posted.front());
+    posted.pop_front();
+    completeStaged(Staged{arr.stage, b.size()}, std::move(pr));
+    return;
+  }
+  unexpected_[k].push_back(Staged{arr.stage, b.size()});
+}
+
+void SectionMailbox::completeStaged(Staged s, PostedRecv pr) {
+  hw::System& sys = owner_->system();
+  assert(pr.capacity >= s.bytes);
+  auto st = std::make_shared<Staged>(s);
+  auto done = pr.done;
+  void* dst = pr.buf;
+  owner_->rt_.cmi().pe(myPe()).exec(stagedCopyCost(sys, s.bytes), [&sys, st, dst, done] {
+    cuda::moveBytes(sys, dst, st->stage, st->bytes);
+    sys.pool.free(st->stage);
+    done.set();
+  });
+}
+
+// --- SectionRank -----------------------------------------------------------
+
+int SectionRank::size() const { return sec_->size(); }
+int SectionRank::pe() const { return sec_->peOf(rank_); }
+hw::System& SectionRank::system() const { return sec_->rt_.system(); }
+
+SectionReq SectionRank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
+  sim::Promise<void> sent;
+  ck::Buffer b(buf, bytes);
+  b.onSent([sent] { sent.set(); });
+  sec_->boxes_[static_cast<std::size_t>(dst)].sendFrom<&SectionMailbox::seg>(
+      pe(), std::move(b), static_cast<std::int32_t>(rank_),
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  return SectionReq{sent.future()};
+}
+
+SectionReq SectionRank::irecv(void* buf, std::uint64_t bytes, int src, int tag) {
+  auto* box = sec_->boxes_[static_cast<std::size_t>(rank_)].local();
+  const std::uint64_t k =
+      matchKey(src, static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  sim::Promise<void> done;
+
+  auto& unexpected = box->unexpected_[k];
+  if (!unexpected.empty()) {
+    SectionMailbox::Staged s = unexpected.front();
+    unexpected.pop_front();
+    box->completeStaged(s, SectionMailbox::PostedRecv{buf, bytes, done});
+  } else {
+    box->posted_[k].push_back(SectionMailbox::PostedRecv{buf, bytes, done});
+  }
+  return SectionReq{done.future()};
+}
+
+sim::Future<void> SectionRank::waitAll(const std::vector<SectionReq>& rs) {
+  sim::Promise<void> all;
+  auto remaining = std::make_shared<int>(static_cast<int>(rs.size()));
+  if (*remaining == 0) {
+    all.set();
+    return all.future();
+  }
+  for (const SectionReq& r : rs) {
+    r.f.onReady([all, remaining] {
+      if (--*remaining == 0) all.set();
+    });
+  }
+  return all.future();
+}
+
+// --- CharmSection ----------------------------------------------------------
+
+CharmSection::CharmSection(ck::Runtime& rt, std::vector<int> pes)
+    : rt_(rt), pes_(std::move(pes)) {
+  ck::setPostEntry<&SectionMailbox::seg, &SectionMailbox::segPost>();
+  boxes_.reserve(pes_.size());
+  for (const int pe : pes_) {
+    auto proxy = rt_.create<SectionMailbox>(pe);
+    proxy.local()->owner_ = this;
+    boxes_.push_back(proxy);
+  }
+}
+
+}  // namespace cux::coll

@@ -1,0 +1,27 @@
+#include "coll/coll.hpp"
+
+namespace cux::coll {
+
+const char* name(CollImpl impl) {
+  switch (impl) {
+    case CollImpl::Auto:
+      return "auto";
+    case CollImpl::Ring:
+      return "ring";
+    case CollImpl::Tree:
+      return "tree";
+    case CollImpl::Reference:
+      return "reference";
+  }
+  return "?";
+}
+
+std::optional<CollImpl> parseImpl(std::string_view s) {
+  if (s == "auto") return CollImpl::Auto;
+  if (s == "ring") return CollImpl::Ring;
+  if (s == "tree") return CollImpl::Tree;
+  if (s == "reference") return CollImpl::Reference;
+  return std::nullopt;
+}
+
+}  // namespace cux::coll

@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "hw/cuda.hpp"
+#include "obs/span.hpp"
 #include "sim/future.hpp"
 #include "sim/task.hpp"
 
@@ -12,34 +15,81 @@
 /// GPU-aware collective communication built on the point-to-point layer —
 /// the extension the paper names as future work ("supporting collective
 /// communication of GPU data, using this work as the basis to translate
-/// collective communication primitives to point-to-point calls",
-/// Sec. VI).
+/// collective communication primitives to point-to-point calls", Sec. VI).
 ///
-/// The algorithms are the classical ones:
-///  * broadcast / reduce — binomial tree;
-///  * allreduce — recursive doubling (power-of-two), with a fold-in step for
-///    the remainder ranks;
-///  * allgather — ring;
-///  * alltoall — pairwise exchange;
-///  * gather / scatter — linear to/from the root.
+/// Two families of algorithms live here, runtime-selectable per call:
+///
+///  * `CollImpl::Reference` — the classical whole-message algorithms
+///    (binomial broadcast/reduce, recursive-doubling allreduce, ring
+///    allgather, pairwise alltoall). Retained verbatim as the cross-check
+///    oracle, same pattern as the tag-matcher's `MatcherImpl::Linear`.
+///  * `CollImpl::Ring` / `CollImpl::Tree` — chunked, *pipelined* algorithms:
+///    messages are split into segments sized by `CollConfig::chunk_bytes`
+///    and segment k+1's transfer overlaps segment k's modelled reduction
+///    kernel (or its store-and-forward hop), the ChainerMN/Horovod shape.
+///    Ring allreduce is reduce-scatter + allgather and bandwidth-optimal at
+///    large sizes; the pipelined binomial tree wins at small sizes — the
+///    crossover is measured in bench/ext_collectives.cpp.
+///
+/// `CollImpl::Auto` picks Ring at/above `CollConfig::ring_threshold` bytes
+/// and Tree below it.
 ///
 /// Every primitive works on host *or* device buffers: the payload rides the
-/// GPU-aware point-to-point path, temporaries live in the caller-provided
-/// workspace, and reduction arithmetic is a modelled GPU kernel whose body
+/// GPU-aware point-to-point path, temporaries come from the system's
+/// DevicePool, and reduction arithmetic is a modelled GPU kernel whose body
 /// performs the real math when the memory is backed, so the test suite can
-/// verify results exactly.
+/// verify results exactly. Each call mints one obs span (kind
+/// "coll.<op>") with a CollChunk phase per pipelined segment and a
+/// CollReduce phase per reduction-kernel launch.
 ///
-/// The templates accept any rank type exposing the shared MPI-ish surface
-/// (ampi::Rank and ompi::Rank both qualify).
+/// The templates accept any rank type exposing the shared MPI-ish surface —
+/// ampi::Rank, ampi::CommRank, ompi::Rank, coll::SectionRank (Charm++ array
+/// sections) and coll::C4pRank (Charm4py) all qualify.
+///
+/// Tag-space discipline: collectives use tags at/above kCollTagBase; a
+/// single call consumes tags in [tag, tag + kCollTagStride). Sequential
+/// collectives may share one base tag (MPI's ordered semantics); concurrent
+/// collectives on the same peer set must space their base tags by
+/// kCollTagStride (see collTag()). AMPI's own internal tags live above
+/// 1 << 30 and never collide.
 
 namespace cux::coll {
 
 enum class Op : std::uint8_t { Sum, Max, Min };
 
+/// Algorithm selection, per call or per stack default.
+enum class CollImpl : std::uint8_t { Auto, Ring, Tree, Reference };
+
+[[nodiscard]] const char* name(CollImpl impl);
+[[nodiscard]] std::optional<CollImpl> parseImpl(std::string_view s);
+
 /// Tag space reserved for collectives; user point-to-point traffic must use
-/// smaller tags. Each concurrent collective needs a distinct `tag` argument
-/// (or sequential calls can share one, matching MPI's ordered semantics).
+/// smaller tags.
 inline constexpr int kCollTagBase = 1 << 28;
+
+/// Per-(step, chunk) tag slots inside one collective call: chunk index in
+/// the low 6 bits, step/level above. Bounds cfg.max_chunks at 64.
+inline constexpr int kChunkSlots = 64;
+
+/// Tag distance between two collectives that may be in flight concurrently
+/// on the same peer set (supports up to 2048 ranks of ring steps).
+inline constexpr int kCollTagStride = 1 << 18;
+
+/// Base tag for concurrent collective number `slot` (e.g. one per gradient
+/// bucket in flight).
+[[nodiscard]] constexpr int collTag(int slot) noexcept {
+  return kCollTagBase + slot * kCollTagStride;
+}
+
+struct CollConfig {
+  CollImpl impl = CollImpl::Auto;
+  /// Pipeline segment size; messages smaller than this travel as one chunk.
+  std::uint64_t chunk_bytes = 256 * 1024;
+  /// Upper bound on segments per message/block (<= kChunkSlots).
+  int max_chunks = 32;
+  /// Auto: >= this many bytes selects Ring, below selects Tree.
+  std::uint64_t ring_threshold = 256 * 1024;
+};
 
 namespace detail {
 
@@ -59,7 +109,8 @@ inline void combine(double* dst, const double* src, std::uint64_t count, Op op) 
 
 /// Reduction kernel on `count` doubles: modelled as memory-bound traffic
 /// (read both operands, write one) with the real arithmetic as the body when
-/// the buffers are backed.
+/// the buffers are backed. Returns the stream-order completion future
+/// without awaiting it, so callers can overlap the next chunk's transfer.
 template <class RankT>
 sim::Future<void> combineKernel(RankT& r, cuda::Stream& stream, void* dst, const void* src,
                                 std::uint64_t count, Op op) {
@@ -73,26 +124,109 @@ sim::Future<void> combineKernel(RankT& r, cuda::Stream& stream, void* dst, const
   return stream.synchronize();
 }
 
-/// Scratch device buffer sized for one message, on the caller's GPU.
+/// Scratch device buffer on the caller's GPU, served from the system's
+/// caching DevicePool (returned, not released, on destruction).
 class Scratch {
  public:
   Scratch(hw::System& sys, int device, std::uint64_t bytes)
       : sys_(sys),
-        ptr_(cuda::deviceAlloc(sys, device, bytes)) {}
-  ~Scratch() { cuda::deviceFree(sys_, ptr_); }
+        ptr_(sys.pool.alloc(device, bytes == 0 ? 1 : bytes, sys.config.backed_device_memory)) {}
+  ~Scratch() { sys_.pool.free(ptr_); }
   Scratch(const Scratch&) = delete;
   Scratch& operator=(const Scratch&) = delete;
   [[nodiscard]] void* get() const noexcept { return ptr_; }
+  [[nodiscard]] std::byte* bytes() const noexcept { return static_cast<std::byte*>(ptr_); }
 
  private:
   hw::System& sys_;
   void* ptr_;
 };
 
+/// An already-fulfilled Future<void> (pipeline-state seed value).
+[[nodiscard]] inline sim::Future<void> readyFuture() {
+  sim::Promise<void> p;
+  p.set();
+  return p.future();
+}
+
+/// Lifecycle span of one collective call on one rank. RAII: ends the span
+/// (Phase::Completed) when the owning coroutine frame is destroyed. All
+/// operations are no-ops when the collector is disabled (id 0), and none of
+/// them schedule engine events, so collectives stay trace-invisible.
+class CollSpan {
+ public:
+  CollSpan(hw::System& sys, int pe, std::uint64_t bytes, const char* kind)
+      : spans_(&sys.obs.spans), eng_(&sys.engine), pe_(pe) {
+    id_ = spans_->begin(eng_->now(), pe, -1, bytes, kind);
+  }
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+  ~CollSpan() {
+    if (id_ != 0) spans_->end(id_, eng_->now(), obs::Phase::Completed, pe_);
+  }
+
+  /// One pipelined segment handed to the point-to-point layer.
+  void chunk(std::uint64_t bytes) {
+    if (id_ != 0) spans_->phase(id_, eng_->now(), obs::Phase::CollChunk, pe_, bytes);
+  }
+  /// One modelled reduction kernel launched on a segment.
+  void reduce(std::uint64_t bytes) {
+    if (id_ != 0) spans_->phase(id_, eng_->now(), obs::Phase::CollReduce, pe_, bytes);
+  }
+
+ private:
+  obs::SpanCollector* spans_;
+  sim::Engine* eng_;
+  std::uint64_t id_ = 0;
+  int pe_ = -1;
+};
+
+[[nodiscard]] inline CollImpl resolve(const CollConfig& cfg, std::uint64_t bytes) {
+  if (cfg.impl != CollImpl::Auto) return cfg.impl;
+  return bytes >= cfg.ring_threshold ? CollImpl::Ring : CollImpl::Tree;
+}
+
+/// Segments per message/block of `bytes` bytes under `cfg`.
+[[nodiscard]] inline int chunksFor(std::uint64_t bytes, const CollConfig& cfg) {
+  if (bytes == 0) return 1;
+  const std::uint64_t cb = cfg.chunk_bytes == 0 ? 1 : cfg.chunk_bytes;
+  std::uint64_t c = (bytes + cb - 1) / cb;
+  const int cap = cfg.max_chunks < 1 ? 1 : (cfg.max_chunks > kChunkSlots ? kChunkSlots
+                                                                         : cfg.max_chunks);
+  if (c < 1) c = 1;
+  if (c > static_cast<std::uint64_t>(cap)) c = static_cast<std::uint64_t>(cap);
+  return static_cast<int>(c);
+}
+
+/// Chunk `c` of a block holding `count` elements on a fixed slot grid of
+/// `slot` elements per chunk: [off, off+cnt). Fixed slots (rather than
+/// per-block proportional splits) keep scratch chunk ranges disjoint across
+/// blocks of slightly different sizes.
+struct Range {
+  std::uint64_t off = 0;
+  std::uint64_t cnt = 0;
+};
+[[nodiscard]] inline Range slotRange(std::uint64_t count, std::uint64_t slot, int c) {
+  const std::uint64_t off = static_cast<std::uint64_t>(c) * slot;
+  if (off >= count) return {off, 0};
+  const std::uint64_t cnt = count - off < slot ? count - off : slot;
+  return {off, cnt};
+}
+
+[[nodiscard]] constexpr int tagFor(int base, int step, int chunk) noexcept {
+  return base + step * kChunkSlots + chunk;
+}
+
 }  // namespace detail
 
-/// Broadcast `bytes` at `buf` (significant on `root`) to all ranks.
-/// Binomial tree: log2(P) rounds.
+// ---------------------------------------------------------------------------
+// Reference algorithms: classical whole-message formulations, kept as the
+// bit-exact oracle for the pipelined family (CollImpl::Reference).
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+/// Binomial-tree broadcast: log2(P) rounds, whole message per hop.
 template <class RankT>
 sim::FutureTask bcast(RankT& r, void* buf, std::uint64_t bytes, int root,
                       int tag = kCollTagBase) {
@@ -120,8 +254,7 @@ sim::FutureTask bcast(RankT& r, void* buf, std::uint64_t bytes, int root,
   co_await r.waitAll(sends);
 }
 
-/// Reduce `count` doubles from `sendbuf` into `recvbuf` on `root`.
-/// Binomial tree; needs a scratch buffer per receiving step.
+/// Binomial-tree reduce of `count` doubles into `recvbuf` on `root`.
 template <class RankT>
 sim::FutureTask reduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
                        Op op, int root, int tag = kCollTagBase) {
@@ -151,8 +284,8 @@ sim::FutureTask reduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64
   }
 }
 
-/// Allreduce over doubles: recursive doubling on the largest power-of-two
-/// subset, with remainder ranks folded in and out.
+/// Recursive-doubling allreduce on the largest power-of-two subset, with
+/// remainder ranks folded in and out.
 template <class RankT>
 sim::FutureTask allreduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
                           Op op, int tag = kCollTagBase) {
@@ -195,8 +328,7 @@ sim::FutureTask allreduce(RankT& r, const void* sendbuf, void* recvbuf, std::uin
   }
 }
 
-/// Allgather: each rank contributes `bytes` at `sendbuf`; `recvbuf` receives
-/// size*bytes, rank i's block at offset i*bytes. Ring algorithm: P-1 steps.
+/// Ring allgather: whole blocks, P-1 steps.
 template <class RankT>
 sim::FutureTask allgather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
                           int tag = kCollTagBase) {
@@ -217,7 +349,7 @@ sim::FutureTask allgather(RankT& r, const void* sendbuf, void* recvbuf, std::uin
   }
 }
 
-/// Alltoall: rank i sends its j-th block to rank j. Pairwise exchange.
+/// Pairwise-exchange alltoall: whole blocks, shift schedule.
 template <class RankT>
 sim::FutureTask alltoall(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
                          int tag = kCollTagBase) {
@@ -239,10 +371,479 @@ sim::FutureTask alltoall(RankT& r, const void* sendbuf, void* recvbuf, std::uint
   }
 }
 
+/// Reduce-scatter (block variant): reduce to rank 0 then scatter — the
+/// naive oracle for the ring formulation.
+template <class RankT>
+sim::FutureTask reduceScatter(RankT& r, const void* sendbuf, void* recvbuf,
+                              std::uint64_t count_each, Op op, int tag = kCollTagBase) {
+  const int n = r.size();
+  hw::System& sys = r.system();
+  detail::Scratch full(sys, r.pe(), static_cast<std::uint64_t>(n) * count_each * 8);
+  co_await reference::reduce(r, sendbuf, full.get(), static_cast<std::uint64_t>(n) * count_each,
+                             op, 0, tag);
+  // Scatter block i of the root's reduction to rank i.
+  if (r.rank() == 0) {
+    cuda::moveBytes(sys, recvbuf, full.get(), count_each * 8);
+    std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+    for (int i = 1; i < n; ++i) {
+      sends.push_back(r.isend(full.bytes() + static_cast<std::uint64_t>(i) * count_each * 8,
+                              count_each * 8, i, tag + 1));
+    }
+    co_await r.waitAll(sends);
+  } else {
+    co_await r.recv(recvbuf, count_each * 8, 0, tag + 1);
+  }
+}
+
+}  // namespace reference
+
+// ---------------------------------------------------------------------------
+// Pipelined algorithms: chunked segments, transfer/kernel overlap.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Ring allreduce: reduce-scatter (n-1 steps) + allgather (n-1 steps) over n
+/// near-equal blocks, each block pipelined in fixed chunk slots so chunk
+/// k+1's transfer overlaps chunk k's reduction kernel. Bandwidth-optimal:
+/// each rank moves 2(n-1)/n of the payload.
+template <class RankT>
+sim::FutureTask allreduceRing(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                              Op op, int tag, CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  const std::uint64_t bytes = count * 8;
+  if (recvbuf != sendbuf) cuda::moveBytes(sys, recvbuf, sendbuf, bytes);
+  if (n == 1 || count == 0) co_return;
+
+  cuda::Stream stream(sys, r.pe());
+  auto* out = static_cast<std::byte*>(recvbuf);
+  const auto blk = [&](int b) { return static_cast<std::uint64_t>(b) * count / n; };
+  const std::uint64_t max_blk = (count + static_cast<std::uint64_t>(n) - 1) / n;
+  const int C = chunksFor(max_blk * 8, cfg);
+  const std::uint64_t slot = (max_blk + static_cast<std::uint64_t>(C) - 1) / C;
+  Scratch scratch(sys, r.pe(), slot * static_cast<std::uint64_t>(C) * 8);
+
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+  std::vector<sim::Future<void>> kdone;  // per-chunk kernels of the block combined last step
+
+  // --- reduce-scatter phase ------------------------------------------------
+  for (int step = 0; step < n - 1; ++step) {
+    const int sb = (me - step + n) % n;
+    const int rb = (me - step - 1 + n) % n;
+    const std::uint64_t s0 = blk(sb), scount = blk(sb + 1) - s0;
+    const std::uint64_t r0 = blk(rb), rcount = blk(rb + 1) - r0;
+    std::vector<sim::Future<void>> knext(static_cast<std::size_t>(C), readyFuture());
+    for (int c = 0; c < C; ++c) {
+      // The chunk being sent was combined by last step's kernel c.
+      if (step > 0) co_await kdone[static_cast<std::size_t>(c)];
+      const Range s_rng = slotRange(scount, slot, c);
+      if (s_rng.cnt > 0) {
+        sp->chunk(s_rng.cnt * 8);
+        sends.push_back(r.isend(out + (s0 + s_rng.off) * 8, s_rng.cnt * 8, right,
+                                tagFor(tag, step, c)));
+      }
+      const Range r_rng = slotRange(rcount, slot, c);
+      if (r_rng.cnt > 0) {
+        // Scratch slot c was drained by last step's kernel c (awaited above).
+        std::byte* stage = scratch.bytes() + static_cast<std::uint64_t>(c) * slot * 8;
+        co_await r.recv(stage, r_rng.cnt * 8, left, tagFor(tag, step, c));
+        sp->reduce(r_rng.cnt * 8);
+        knext[static_cast<std::size_t>(c)] =
+            combineKernel(r, stream, out + (r0 + r_rng.off) * 8, stage, r_rng.cnt, op);
+      }
+    }
+    kdone = std::move(knext);
+  }
+  for (auto& f : kdone) co_await f;
+
+  // --- allgather phase: rank me now owns block (me+1) fully reduced --------
+  std::vector<sim::Future<void>> got;  // per-chunk receive completions of last step
+  for (int step = 0; step < n - 1; ++step) {
+    const int sb = (me + 1 - step + 2 * n) % n;
+    const int rb = (me - step + 2 * n) % n;
+    const std::uint64_t s0 = blk(sb), scount = blk(sb + 1) - s0;
+    const std::uint64_t r0 = blk(rb), rcount = blk(rb + 1) - r0;
+    std::vector<sim::Future<void>> gnext(static_cast<std::size_t>(C), readyFuture());
+    for (int c = 0; c < C; ++c) {
+      // Forward chunk c as soon as last step's copy of it has landed.
+      if (step > 0) co_await got[static_cast<std::size_t>(c)];
+      const Range s_rng = slotRange(scount, slot, c);
+      if (s_rng.cnt > 0) {
+        sp->chunk(s_rng.cnt * 8);
+        sends.push_back(r.isend(out + (s0 + s_rng.off) * 8, s_rng.cnt * 8, right,
+                                tagFor(tag, n - 1 + step, c)));
+      }
+      const Range r_rng = slotRange(rcount, slot, c);
+      if (r_rng.cnt > 0) {
+        gnext[static_cast<std::size_t>(c)] =
+            r.recv(out + (r0 + r_rng.off) * 8, r_rng.cnt * 8, left, tagFor(tag, n - 1 + step, c));
+      }
+    }
+    got = std::move(gnext);
+  }
+  for (auto& f : got) co_await f;
+  co_await r.waitAll(sends);
+}
+
+/// Pipelined binomial reduce into `recvbuf` on `root` (root-relative tree):
+/// each level receives chunk c into its scratch slot and launches the
+/// combine without waiting, so chunk c+1's transfer overlaps it.
+template <class RankT>
+sim::FutureTask reduceTree(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                           Op op, int root, int tag, CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int me = (r.rank() - root + n) % n;
+  hw::System& sys = r.system();
+  const std::uint64_t bytes = count * 8;
+  cuda::Stream stream(sys, r.pe());
+
+  Scratch acc(sys, r.pe(), me == 0 ? std::uint64_t{1} : bytes);
+  std::byte* accp = me == 0 ? static_cast<std::byte*>(recvbuf) : acc.bytes();
+  cuda::moveBytes(sys, accp, sendbuf, bytes);
+  if (n == 1 || count == 0) co_return;
+
+  const int C = chunksFor(bytes, cfg);
+  const std::uint64_t slot = (count + static_cast<std::uint64_t>(C) - 1) / C;
+  Scratch incoming(sys, r.pe(), bytes);
+  std::vector<sim::Future<void>> kdone(static_cast<std::size_t>(C), readyFuture());
+
+  int level = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++level) {
+    if (me & mask) {
+      const int parent = (me - mask + root) % n;
+      std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+      for (int c = 0; c < C; ++c) {
+        const Range rng = slotRange(count, slot, c);
+        if (rng.cnt == 0) continue;
+        co_await kdone[static_cast<std::size_t>(c)];
+        sp->chunk(rng.cnt * 8);
+        sends.push_back(r.isend(accp + rng.off * 8, rng.cnt * 8, parent,
+                                tagFor(tag, level, c)));
+      }
+      co_await r.waitAll(sends);
+      co_return;
+    }
+    if (me + mask < n) {
+      const int child = (me + mask + root) % n;
+      for (int c = 0; c < C; ++c) {
+        const Range rng = slotRange(count, slot, c);
+        if (rng.cnt == 0) continue;
+        // Last level's kernel c has drained scratch chunk c and updated acc.
+        co_await kdone[static_cast<std::size_t>(c)];
+        co_await r.recv(incoming.bytes() + rng.off * 8, rng.cnt * 8, child,
+                        tagFor(tag, level, c));
+        sp->reduce(rng.cnt * 8);
+        kdone[static_cast<std::size_t>(c)] = combineKernel(
+            r, stream, accp + rng.off * 8, incoming.bytes() + rng.off * 8, rng.cnt, op);
+      }
+    }
+  }
+  for (auto& f : kdone) co_await f;
+}
+
+/// Pipelined binomial broadcast: each non-root receives chunk c from its
+/// parent and forwards it to its children while chunk c+1 is still in
+/// flight — the message streams through the tree.
+template <class RankT>
+sim::FutureTask bcastTree(RankT& r, void* buf, std::uint64_t bytes, int root, int tag,
+                          CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int me = (r.rank() - root + n) % n;
+  if (n == 1 || bytes == 0) co_return;
+
+  int parent = -1;
+  int mask = 1;
+  while (mask < n) {
+    if (me & mask) {
+      parent = (me - mask + root) % n;
+      break;
+    }
+    mask <<= 1;
+  }
+  std::vector<int> children;  // absolute ranks, larger subtrees first
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (me + m < n) children.push_back((me + m + root) % n);
+  }
+
+  const int C = chunksFor(bytes, cfg);
+  const std::uint64_t slot = (bytes + static_cast<std::uint64_t>(C) - 1) / C;
+  auto* p = static_cast<std::byte*>(buf);
+  std::vector<decltype(r.isend(buf, std::uint64_t{0}, 0, 0))> sends;
+  for (int c = 0; c < C; ++c) {
+    const Range rng = slotRange(bytes, slot, c);
+    if (rng.cnt == 0) continue;
+    if (parent >= 0) co_await r.recv(p + rng.off, rng.cnt, parent, tagFor(tag, 0, c));
+    for (int child : children) {
+      sp->chunk(rng.cnt);
+      sends.push_back(r.isend(p + rng.off, rng.cnt, child, tagFor(tag, 0, c)));
+    }
+  }
+  co_await r.waitAll(sends);
+}
+
+/// Pipelined chain broadcast: the message streams root -> root+1 -> ... as
+/// chunks, so total time approaches one message time plus (n-2) chunk times.
+/// Bandwidth-optimal for large messages (each rank forwards each byte once).
+template <class RankT>
+sim::FutureTask bcastRing(RankT& r, void* buf, std::uint64_t bytes, int root, int tag,
+                          CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int pos = (r.rank() - root + n) % n;
+  if (n == 1 || bytes == 0) co_return;
+  const int prev = pos == 0 ? -1 : (root + pos - 1) % n;
+  const int next = pos == n - 1 ? -1 : (root + pos + 1) % n;
+
+  const int C = chunksFor(bytes, cfg);
+  const std::uint64_t slot = (bytes + static_cast<std::uint64_t>(C) - 1) / C;
+  auto* p = static_cast<std::byte*>(buf);
+  std::vector<decltype(r.isend(buf, std::uint64_t{0}, 0, 0))> sends;
+  for (int c = 0; c < C; ++c) {
+    const Range rng = slotRange(bytes, slot, c);
+    if (rng.cnt == 0) continue;
+    if (prev >= 0) co_await r.recv(p + rng.off, rng.cnt, prev, tagFor(tag, 0, c));
+    if (next >= 0) {
+      sp->chunk(rng.cnt);
+      sends.push_back(r.isend(p + rng.off, rng.cnt, next, tagFor(tag, 0, c)));
+    }
+  }
+  co_await r.waitAll(sends);
+}
+
+/// Chunked ring allgather: blocks travel as chunks, and a chunk is forwarded
+/// to the next rank as soon as it lands (store-and-forward pipelining).
+template <class RankT>
+sim::FutureTask allgatherRing(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                              int tag, CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  auto* out = static_cast<std::byte*>(recvbuf);
+  cuda::moveBytes(sys, out + static_cast<std::uint64_t>(me) * bytes, sendbuf, bytes);
+  if (n == 1 || bytes == 0) co_return;
+
+  const int C = chunksFor(bytes, cfg);
+  const std::uint64_t slot = (bytes + static_cast<std::uint64_t>(C) - 1) / C;
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+  std::vector<sim::Future<void>> got;
+  for (int step = 0; step < n - 1; ++step) {
+    const std::uint64_t sb = static_cast<std::uint64_t>((me - step + n) % n) * bytes;
+    const std::uint64_t rb = static_cast<std::uint64_t>((me - step - 1 + n) % n) * bytes;
+    std::vector<sim::Future<void>> gnext(static_cast<std::size_t>(C), readyFuture());
+    for (int c = 0; c < C; ++c) {
+      if (step > 0) co_await got[static_cast<std::size_t>(c)];
+      const Range rng = slotRange(bytes, slot, c);
+      if (rng.cnt == 0) continue;
+      sp->chunk(rng.cnt);
+      sends.push_back(r.isend(out + sb + rng.off, rng.cnt, right, tagFor(tag, step, c)));
+      gnext[static_cast<std::size_t>(c)] =
+          r.recv(out + rb + rng.off, rng.cnt, left, tagFor(tag, step, c));
+    }
+    got = std::move(gnext);
+  }
+  for (auto& f : got) co_await f;
+  co_await r.waitAll(sends);
+}
+
+/// Chunked pairwise alltoall: the shift schedule of the reference algorithm
+/// with per-chunk tags, so large blocks interleave on the wire instead of
+/// serialising per step.
+template <class RankT>
+sim::FutureTask alltoallChunked(RankT& r, const void* sendbuf, void* recvbuf,
+                                std::uint64_t bytes, int tag, CollConfig cfg, CollSpan* sp) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  cuda::moveBytes(sys, out + static_cast<std::uint64_t>(me) * bytes,
+                  in + static_cast<std::uint64_t>(me) * bytes, bytes);
+  if (n == 1 || bytes == 0) co_return;
+
+  const int C = chunksFor(bytes, cfg);
+  const std::uint64_t slot = (bytes + static_cast<std::uint64_t>(C) - 1) / C;
+  std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+  for (int step = 1; step < n; ++step) {
+    const int to = (me + step) % n;
+    const int from = (me - step + n) % n;
+    const std::uint64_t so = static_cast<std::uint64_t>(to) * bytes;
+    const std::uint64_t ro = static_cast<std::uint64_t>(from) * bytes;
+    std::vector<sim::Future<void>> recvs;
+    for (int c = 0; c < C; ++c) {
+      const Range rng = slotRange(bytes, slot, c);
+      if (rng.cnt == 0) continue;
+      sp->chunk(rng.cnt);
+      sends.push_back(r.isend(in + so + rng.off, rng.cnt, to, tagFor(tag, step, c)));
+      recvs.push_back(r.recv(out + ro + rng.off, rng.cnt, from, tagFor(tag, step, c)));
+    }
+    // Bound the outstanding window to one step's chunks.
+    for (auto& f : recvs) co_await f;
+  }
+  co_await r.waitAll(sends);
+}
+
+/// Ring reduce-scatter (block variant): the reduce-scatter phase of the ring
+/// allreduce, scheduled so rank me ends up owning block me.
+template <class RankT>
+sim::FutureTask reduceScatterRing(RankT& r, const void* sendbuf, void* recvbuf,
+                                  std::uint64_t count_each, Op op, int tag, CollConfig cfg,
+                                  CollSpan* sp) {
+  const int n = r.size();
+  const int me = r.rank();
+  hw::System& sys = r.system();
+  if (n == 1 || count_each == 0) {
+    if (recvbuf != sendbuf) cuda::moveBytes(sys, recvbuf, sendbuf, count_each * 8);
+    co_return;
+  }
+  cuda::Stream stream(sys, r.pe());
+  Scratch acc(sys, r.pe(), static_cast<std::uint64_t>(n) * count_each * 8);
+  cuda::moveBytes(sys, acc.get(), sendbuf, static_cast<std::uint64_t>(n) * count_each * 8);
+
+  const int C = chunksFor(count_each * 8, cfg);
+  const std::uint64_t slot = (count_each + static_cast<std::uint64_t>(C) - 1) / C;
+  Scratch scratch(sys, r.pe(), slot * static_cast<std::uint64_t>(C) * 8);
+
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  std::vector<decltype(r.isend(sendbuf, std::uint64_t{0}, 0, 0))> sends;
+  std::vector<sim::Future<void>> kdone;
+  for (int step = 0; step < n - 1; ++step) {
+    // s_0 = me-1 so the final combined block (recv block of the last step)
+    // is block me.
+    const std::uint64_t sb = static_cast<std::uint64_t>((me - 1 - step + 2 * n) % n);
+    const std::uint64_t rb = static_cast<std::uint64_t>((me - 2 - step + 2 * n) % n);
+    std::vector<sim::Future<void>> knext(static_cast<std::size_t>(C), readyFuture());
+    for (int c = 0; c < C; ++c) {
+      if (step > 0) co_await kdone[static_cast<std::size_t>(c)];
+      const Range rng = slotRange(count_each, slot, c);
+      if (rng.cnt == 0) continue;
+      sp->chunk(rng.cnt * 8);
+      sends.push_back(r.isend(acc.bytes() + (sb * count_each + rng.off) * 8, rng.cnt * 8, right,
+                              tagFor(tag, step, c)));
+      std::byte* stage = scratch.bytes() + static_cast<std::uint64_t>(c) * slot * 8;
+      co_await r.recv(stage, rng.cnt * 8, left, tagFor(tag, step, c));
+      sp->reduce(rng.cnt * 8);
+      knext[static_cast<std::size_t>(c)] = combineKernel(
+          r, stream, acc.bytes() + (rb * count_each + rng.off) * 8, stage, rng.cnt, op);
+    }
+    kdone = std::move(knext);
+  }
+  for (auto& f : kdone) co_await f;
+  cuda::moveBytes(sys, recvbuf, acc.bytes() + static_cast<std::uint64_t>(me) * count_each * 8,
+                  count_each * 8);
+  co_await r.waitAll(sends);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public entry points: span-minting dispatchers.
+// ---------------------------------------------------------------------------
+
+/// Broadcast `bytes` at `buf` (significant on `root`) to all ranks.
+template <class RankT>
+sim::FutureTask bcast(RankT& r, void* buf, std::uint64_t bytes, int root,
+                      int tag = kCollTagBase, CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), bytes, "coll.bcast");
+  switch (detail::resolve(cfg, bytes)) {
+    case CollImpl::Reference:
+      co_await reference::bcast(r, buf, bytes, root, tag);
+      break;
+    case CollImpl::Ring:
+      co_await detail::bcastRing(r, buf, bytes, root, tag, cfg, &sp);
+      break;
+    default:
+      co_await detail::bcastTree(r, buf, bytes, root, tag, cfg, &sp);
+      break;
+  }
+}
+
+/// Reduce `count` doubles from `sendbuf` into `recvbuf` on `root`.
+template <class RankT>
+sim::FutureTask reduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                       Op op, int root, int tag = kCollTagBase, CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), count * 8, "coll.reduce");
+  if (detail::resolve(cfg, count * 8) == CollImpl::Reference) {
+    co_await reference::reduce(r, sendbuf, recvbuf, count, op, root, tag);
+  } else {
+    // Ring and Tree both map to the pipelined binomial tree (a ring reduce
+    // without the scatter has no bandwidth advantage).
+    co_await detail::reduceTree(r, sendbuf, recvbuf, count, op, root, tag, cfg, &sp);
+  }
+}
+
+/// Allreduce over doubles.
+template <class RankT>
+sim::FutureTask allreduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t count,
+                          Op op, int tag = kCollTagBase, CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), count * 8, "coll.allreduce");
+  switch (detail::resolve(cfg, count * 8)) {
+    case CollImpl::Reference:
+      co_await reference::allreduce(r, sendbuf, recvbuf, count, op, tag);
+      break;
+    case CollImpl::Ring:
+      co_await detail::allreduceRing(r, sendbuf, recvbuf, count, op, tag, cfg, &sp);
+      break;
+    default:
+      // Pipelined reduce to rank 0, then pipelined broadcast of the result.
+      co_await detail::reduceTree(r, sendbuf, recvbuf, count, op, 0, tag, cfg, &sp);
+      co_await detail::bcastTree(r, recvbuf, count * 8, 0, tag + kChunkSlots * kChunkSlots,
+                                 cfg, &sp);
+      break;
+  }
+}
+
+/// Reduce-scatter (block variant): `sendbuf` holds size()*count_each
+/// doubles; rank i receives the reduction of everyone's block i
+/// (count_each doubles) in `recvbuf`.
+template <class RankT>
+sim::FutureTask reduceScatter(RankT& r, const void* sendbuf, void* recvbuf,
+                              std::uint64_t count_each, Op op, int tag = kCollTagBase,
+                              CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), count_each * 8, "coll.reduce_scatter");
+  if (detail::resolve(cfg, count_each * 8) == CollImpl::Reference) {
+    co_await reference::reduceScatter(r, sendbuf, recvbuf, count_each, op, tag);
+  } else {
+    co_await detail::reduceScatterRing(r, sendbuf, recvbuf, count_each, op, tag, cfg, &sp);
+  }
+}
+
+/// Allgather: each rank contributes `bytes` at `sendbuf`; `recvbuf` receives
+/// size()*bytes, rank i's block at offset i*bytes.
+template <class RankT>
+sim::FutureTask allgather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                          int tag = kCollTagBase, CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), bytes, "coll.allgather");
+  if (detail::resolve(cfg, bytes) == CollImpl::Reference) {
+    co_await reference::allgather(r, sendbuf, recvbuf, bytes, tag);
+  } else {
+    co_await detail::allgatherRing(r, sendbuf, recvbuf, bytes, tag, cfg, &sp);
+  }
+}
+
+/// Alltoall: rank i sends its j-th block to rank j.
+template <class RankT>
+sim::FutureTask alltoall(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
+                         int tag = kCollTagBase, CollConfig cfg = {}) {
+  detail::CollSpan sp(r.system(), r.pe(), bytes, "coll.alltoall");
+  if (detail::resolve(cfg, bytes) == CollImpl::Reference) {
+    co_await reference::alltoall(r, sendbuf, recvbuf, bytes, tag);
+  } else {
+    co_await detail::alltoallChunked(r, sendbuf, recvbuf, bytes, tag, cfg, &sp);
+  }
+}
+
 /// Gather to root: rank i's `bytes` land at offset i*bytes of root's recvbuf.
+/// (Linear; no pipelined variant — the root's in-degree dominates.)
 template <class RankT>
 sim::FutureTask gather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
                        int root, int tag = kCollTagBase) {
+  detail::CollSpan sp(r.system(), r.pe(), bytes, "coll.gather");
   const int n = r.size();
   if (r.rank() == root) {
     auto* out = static_cast<std::byte*>(recvbuf);
@@ -262,6 +863,7 @@ sim::FutureTask gather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64
 template <class RankT>
 sim::FutureTask scatter(RankT& r, const void* sendbuf, void* recvbuf, std::uint64_t bytes,
                         int root, int tag = kCollTagBase) {
+  detail::CollSpan sp(r.system(), r.pe(), bytes, "coll.scatter");
   const int n = r.size();
   if (r.rank() == root) {
     const auto* in = static_cast<const std::byte*>(sendbuf);

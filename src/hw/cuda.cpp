@@ -26,7 +26,7 @@ MemcpyKind inferKind(hw::System& sys, const void* dst, const void* src) {
 }
 
 void moveBytes(hw::System& sys, void* dst, const void* src, std::size_t bytes) {
-  if (bytes == 0) return;
+  if (bytes == 0 || dst == src) return;
   if (!sys.memory.dereferenceable(dst) || !sys.memory.dereferenceable(src)) return;
   std::memcpy(dst, src, bytes);
 }

@@ -5,6 +5,7 @@
 #include "hw/config.hpp"
 #include "hw/machine.hpp"
 #include "hw/memory.hpp"
+#include "hw/pool.hpp"
 #include "obs/observability.hpp"
 #include "sim/engine.hpp"
 #include "sim/shard.hpp"
@@ -21,6 +22,7 @@ struct System {
   sim::Engine engine;
   Machine machine;
   MemoryRegistry memory;
+  DevicePool pool{memory};    ///< caching device allocator (collectives scratch, training buckets)
   sim::Tracer trace;          ///< off by default; enable() to record timelines
   sim::FaultInjector fault;   ///< off by default; configured from config.fault
   obs::Observability obs;     ///< spans + metrics registry; spans off by default
@@ -40,6 +42,10 @@ struct System {
       r.setGauge("trace.dropped", trace.dropped());
       r.setGauge("obs.spans_begun", obs.spans.begun());
       r.setGauge("obs.spans_open", obs.spans.openCount());
+      r.setGauge("pool.hits", pool.hits());
+      r.setGauge("pool.misses", pool.misses());
+      r.setGauge("pool.bytes_cached", pool.bytesCached());
+      r.setGauge("pool.bytes_hwm", pool.bytesHighWatermark());
     });
   }
 

@@ -31,6 +31,10 @@ const char* name(Phase p) {
       return "fallback";
     case Phase::RecvRepost:
       return "recv-repost";
+    case Phase::CollChunk:
+      return "coll-chunk";
+    case Phase::CollReduce:
+      return "coll-reduce";
     case Phase::Completed:
       return "completed";
     case Phase::Errored:

@@ -46,6 +46,8 @@ enum class Phase : std::uint8_t {
   Retry,              ///< reliability-layer retransmission of a leg
   Fallback,           ///< device send degraded to the host-staged route
   RecvRepost,         ///< receive re-posted after a terminal rendezvous failure
+  CollChunk,          ///< pipelined collective segment handed to the p2p layer
+  CollReduce,         ///< modelled reduction kernel launched on a collective segment
   Completed,          ///< terminal: data delivered to the receiver
   Errored,            ///< terminal: transfer failed permanently
   Cancelled,          ///< terminal: receive cancelled

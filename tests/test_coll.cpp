@@ -254,8 +254,14 @@ TEST(CollTiming, DeviceBcastScalesLogarithmically) {
     for (int i = 0; i < 6 * nodes; ++i) {
       bufs.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, bytes, false));
     }
-    f.runOmpi([&](ompi::Rank& r) -> sim::FutureTask {
-      co_await coll::bcast(r, bufs[static_cast<std::size_t>(r.rank())]->get(), bytes, 0);
+    // Pin the Reference binomial tree: this test asserts the log2(P)
+    // property of the classical algorithm, independent of the pipelined
+    // implementations' chunking choices.
+    coll::CollConfig cfg;
+    cfg.impl = coll::CollImpl::Reference;
+    f.runOmpi([&, cfg](ompi::Rank& r) -> sim::FutureTask {
+      co_await coll::bcast(r, bufs[static_cast<std::size_t>(r.rank())]->get(), bytes, 0,
+                           coll::kCollTagBase, cfg);
     });
     return sim::toUs(f.sys->engine.now());
   };
@@ -263,6 +269,37 @@ TEST(CollTiming, DeviceBcastScalesLogarithmically) {
   const double t8 = timeBcast(8);   // 48 ranks: 2 more tree levels
   EXPECT_GT(t8, t2);
   EXPECT_LT(t8, 3.0 * t2);  // logarithmic, not linear (4x ranks)
+}
+
+// --------------------------------------------------------------------------
+// Pipelining property: the chain broadcast stores-and-forwards at every hop,
+// so with one chunk its latency is ~(P-1) full-message transfers. Chunked,
+// hop k forwards chunk c while chunk c+1 is still arriving, collapsing the
+// chain to one full transfer plus (P-1) chunk transfers.
+// --------------------------------------------------------------------------
+
+TEST(CollTiming, PipelinedChainBcastBeatsUnchunked) {
+  auto timeBcast = [](int max_chunks, std::uint64_t chunk_bytes) {
+    CollFixture f(2);
+    const std::uint64_t bytes = 4u << 20;
+    std::vector<std::unique_ptr<cuda::DeviceBuffer>> bufs;
+    for (int i = 0; i < 12; ++i) {
+      bufs.push_back(std::make_unique<cuda::DeviceBuffer>(*f.sys, i, bytes, false));
+    }
+    coll::CollConfig cfg;
+    cfg.impl = coll::CollImpl::Ring;  // chain broadcast
+    cfg.max_chunks = max_chunks;
+    cfg.chunk_bytes = chunk_bytes;
+    f.runAmpi([&, cfg](ampi::Rank& r) -> sim::FutureTask {
+      co_await coll::bcast(r, bufs[static_cast<std::size_t>(r.rank())]->get(), bytes, 0,
+                           coll::kCollTagBase, cfg);
+    });
+    return sim::toUs(f.sys->engine.now());
+  };
+  const double unchunked = timeBcast(1, 64 * 1024 * 1024);
+  const double pipelined = timeBcast(16, 1024 * 1024);  // 4 chunks
+  EXPECT_LT(pipelined, 0.7 * unchunked)
+      << "chunked chain should overlap transfers across hops";
 }
 
 }  // namespace

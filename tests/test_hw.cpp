@@ -301,4 +301,86 @@ TEST(Cuda, KernelTimingIncludesLaunchOverhead) {
             sim::usec(sys.config.cuda_call_us + sys.config.kernel_launch_us + 100.0));
 }
 
+// --------------------------------------------------------------------------
+// DevicePool: the CuPy-style caching allocator behind pipelined collectives
+// and the training workload's gradient buckets.
+// --------------------------------------------------------------------------
+
+TEST(DevicePool, RoundsUpToBinAndReusesFreedBlocks) {
+  hw::System sys(summitCfg(1));
+  const bool backed = sys.config.backed_device_memory;
+  void* a = sys.pool.alloc(0, 100, backed);  // rounds to 512
+  EXPECT_EQ(sys.pool.misses(), 1u);
+  EXPECT_EQ(sys.pool.hits(), 0u);
+  EXPECT_EQ(sys.pool.bytesLive(), 512u);
+  sys.pool.free(a);
+  EXPECT_EQ(sys.pool.bytesLive(), 0u);
+  EXPECT_EQ(sys.pool.bytesCached(), 512u);
+  // A request in the same 512-byte class is a hit and returns the block.
+  void* b = sys.pool.alloc(0, 300, backed);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(sys.pool.hits(), 1u);
+  EXPECT_EQ(sys.pool.misses(), 1u);
+  sys.pool.free(b);
+}
+
+TEST(DevicePool, DistinctClassesDoNotShareBlocks) {
+  hw::System sys(summitCfg(1));
+  const bool backed = sys.config.backed_device_memory;
+  void* a = sys.pool.alloc(0, 512, backed);
+  sys.pool.free(a);
+  // Different device, different size class, different backing: all misses.
+  void* other_dev = sys.pool.alloc(1, 512, backed);
+  void* other_size = sys.pool.alloc(0, 1024, backed);
+  EXPECT_NE(other_dev, a);
+  EXPECT_NE(other_size, a);
+  EXPECT_EQ(sys.pool.hits(), 0u);
+  EXPECT_EQ(sys.pool.misses(), 3u);
+  sys.pool.free(other_dev);
+  sys.pool.free(other_size);
+}
+
+TEST(DevicePool, TrimReleasesCachedBlocks) {
+  hw::System sys(summitCfg(1));
+  const bool backed = sys.config.backed_device_memory;
+  void* a = sys.pool.alloc(0, 4096, backed);
+  void* b = sys.pool.alloc(0, 8192, backed);
+  sys.pool.free(a);
+  sys.pool.free(b);
+  EXPECT_EQ(sys.pool.bytesCached(), 4096u + 8192u);
+  sys.pool.trim();
+  EXPECT_EQ(sys.pool.bytesCached(), 0u);
+  // After a trim the next allocation goes back through the registry.
+  void* c = sys.pool.alloc(0, 4096, backed);
+  EXPECT_EQ(sys.pool.hits(), 0u);
+  EXPECT_EQ(sys.pool.misses(), 3u);
+  sys.pool.free(c);
+}
+
+TEST(DevicePool, HighWatermarkTracksPeakLiveBytes) {
+  hw::System sys(summitCfg(1));
+  const bool backed = sys.config.backed_device_memory;
+  void* a = sys.pool.alloc(0, 1024, backed);
+  void* b = sys.pool.alloc(0, 2048, backed);
+  EXPECT_EQ(sys.pool.bytesHighWatermark(), 3072u);
+  sys.pool.free(a);
+  sys.pool.free(b);
+  // Reuse from cache does not raise the watermark.
+  void* c = sys.pool.alloc(0, 2048, backed);
+  EXPECT_EQ(sys.pool.bytesHighWatermark(), 3072u);
+  sys.pool.free(c);
+}
+
+TEST(DevicePool, BackedBlocksKeepContentsAcrossReuse) {
+  hw::System sys(summitCfg(1));
+  if (!sys.config.backed_device_memory) GTEST_SKIP() << "needs backed device memory";
+  auto* p = static_cast<double*>(sys.pool.alloc(0, 8 * 64, true));
+  for (int j = 0; j < 64; ++j) p[j] = 3.0 * j;
+  sys.pool.free(p);
+  auto* q = static_cast<double*>(sys.pool.alloc(0, 8 * 64, true));
+  ASSERT_EQ(q, p);  // same cached region
+  EXPECT_DOUBLE_EQ(q[63], 3.0 * 63);
+  sys.pool.free(q);
+}
+
 }  // namespace

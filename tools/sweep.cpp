@@ -25,6 +25,10 @@
 #include "ampi/ampi.hpp"
 #include "apps/jacobi/jacobi.hpp"
 #include "apps/osu/osu.hpp"
+#include "apps/train/train.hpp"
+#include "charm4py/charm4py.hpp"
+#include "coll/c4p_group.hpp"
+#include "coll/charm_section.hpp"
 #include "converse/converse.hpp"
 #include "core/device_comm.hpp"
 #include "hw/cuda.hpp"
@@ -57,13 +61,27 @@ struct Args {
   std::uint64_t fault_seed = 0x5eed;
   std::vector<double> drops{0.0, 0.01, 0.02, 0.05, 0.10};  // --metric loss sweep
   int shards = 4;                                          // --metric shard sweeps 1..N
+  coll::CollImpl impl = coll::CollImpl::Auto;              // --metric coll / train
+  bool impl_set = false;
+  int ranks = 8;  ///< collective members / training workers (--metric coll, train)
+  int steps = 3;  ///< training steps (--metric train)
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard  what to measure\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train\n"
+      "                                      what to measure\n"
+      "                                      (coll: pipelined allreduce per stack —\n"
+      "                                      steady-state us/iteration per size and\n"
+      "                                      algorithm; uses --ranks, --impl, --sizes,\n"
+      "                                      --nodes; stacks ampi, charm, charm4py\n"
+      "                                      unless --stack)\n"
+      "                                      (train: data-parallel SGD per-step\n"
+      "                                      anatomy — compute, bucket allreduce\n"
+      "                                      union vs sum, overlap ratio; uses\n"
+      "                                      --ranks, --steps, --impl)\n"
       "                                      (shard: SMP-mode sharded event loop —\n"
       "                                      wall-clock events/s and determinism\n"
       "                                      check of the message storm at shard\n"
@@ -94,6 +112,12 @@ struct Args {
       "                                      (default 0,1,2,5,10)\n"
       "  --shards N                          max shard count for --metric shard\n"
       "                                      (default 4)\n"
+      "  --impl auto|ring|tree|reference     collective algorithm (default: sweep\n"
+      "                                      ring, tree, reference for coll; auto\n"
+      "                                      for train)\n"
+      "  --ranks N                           collective members / training workers\n"
+      "                                      (default 8)\n"
+      "  --steps N                           training steps (default 3)\n"
       "  --json                              machine-readable JSON instead of CSV\n"
       "  --perfetto FILE                     (breakdown) write a Chrome trace_event\n"
       "                                      JSON of the last data point's spans,\n"
@@ -172,6 +196,17 @@ Args parse(int argc, char** argv) {
     } else if (opt == "--shards") {
       a.shards = std::atoi(need(i));
       if (a.shards < 1) usage(argv[0]);
+    } else if (opt == "--impl") {
+      const auto v = coll::parseImpl(need(i));
+      if (!v) usage(argv[0]);
+      a.impl = *v;
+      a.impl_set = true;
+    } else if (opt == "--ranks") {
+      a.ranks = std::atoi(need(i));
+      if (a.ranks < 1) usage(argv[0]);
+    } else if (opt == "--steps") {
+      a.steps = std::atoi(need(i));
+      if (a.steps < 1) usage(argv[0]);
     } else if (opt == "--grid") {
       const auto v = parseSizes(need(i));
       if (v.size() != 3) usage(argv[0]);
@@ -594,6 +629,216 @@ int runShard(const Args& a) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// --metric coll: pipelined collectives per stack, algorithm, and size
+// --------------------------------------------------------------------------
+
+/// Iteration loop shared by all three stacks: `total` back-to-back
+/// allreduces with a distinct tag slot per iteration, recording the virtual
+/// time at which the last member finishes each iteration.
+template <class RankT>
+sim::FutureTask collLoop(RankT r, hw::System* sys, void* src, void* dst, std::uint64_t count,
+                         coll::CollConfig cfg, int total, std::shared_ptr<std::vector<int>> left,
+                         std::shared_ptr<std::vector<sim::TimePoint>> done) {
+  for (int it = 0; it < total; ++it) {
+    co_await coll::allreduce(r, src, dst, count, coll::Op::Sum, coll::collTag(it), cfg);
+    const auto slot = static_cast<std::size_t>(it);
+    if (--(*left)[slot] == 0) (*done)[slot] = sys->engine.now();
+  }
+}
+
+/// Steady-state us/iteration of a device-buffer allreduce on one stack.
+double collPoint(const Args& a, osu::Stack stack, coll::CollImpl impl, std::uint64_t bytes,
+                 int warmup, int iters) {
+  const int nodes = std::max(a.nodes, (a.ranks + 5) / 6);
+  model::Model m = model::summit(nodes);
+  m.machine.backed_device_memory = false;  // timing-only run
+  if (a.drop > 0.0) m.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
+  hw::System sys(m.machine);
+  ucx::Context ctx(sys, m.ucx);
+  ck::Runtime rt(sys, ctx, m);
+
+  const int n = a.ranks;
+  const std::uint64_t count = bytes / 8;
+  const int total = warmup + iters;
+  std::vector<int> pes;
+  std::vector<std::unique_ptr<cuda::DeviceBuffer>> src, dst;
+  for (int r = 0; r < n; ++r) {
+    pes.push_back(r);
+    src.push_back(std::make_unique<cuda::DeviceBuffer>(sys, r, bytes));
+    dst.push_back(std::make_unique<cuda::DeviceBuffer>(sys, r, bytes));
+  }
+  auto left = std::make_shared<std::vector<int>>(static_cast<std::size_t>(total), n);
+  auto done = std::make_shared<std::vector<sim::TimePoint>>(static_cast<std::size_t>(total), 0);
+  coll::CollConfig cfg;
+  cfg.impl = impl;
+
+  std::unique_ptr<ampi::World> world;
+  std::unique_ptr<coll::CharmSection> sec;
+  std::unique_ptr<c4p::Charm4py> py;
+  std::unique_ptr<coll::C4pGroup> grp;
+  switch (stack) {
+    case osu::Stack::Ampi:
+      world = std::make_unique<ampi::World>(rt, n);
+      world->run([&](ampi::Rank& r) -> sim::FutureTask {
+        const auto i = static_cast<std::size_t>(r.rank());
+        return collLoop(r, &sys, src[i]->get(), dst[i]->get(), count, cfg, total, left, done);
+      });
+      break;
+    case osu::Stack::Charm:
+      sec = std::make_unique<coll::CharmSection>(rt, pes);
+      for (int r = 0; r < n; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        coll::SectionRank sr = sec->rank(r);
+        rt.startOn(r, [sr, &sys, s = src[i]->get(), d = dst[i]->get(), count, cfg, total, left,
+                       done]() mutable {
+          (void)collLoop(sr, &sys, s, d, count, cfg, total, left, done);
+        });
+      }
+      break;
+    case osu::Stack::Charm4py:
+      py = std::make_unique<c4p::Charm4py>(rt);
+      grp = std::make_unique<coll::C4pGroup>(*py, pes);
+      for (int r = 0; r < n; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        coll::C4pRank cr = grp->rank(r);
+        py->startOn(r, [cr, &sys, s = src[i]->get(), d = dst[i]->get(), count, cfg, total, left,
+                        done]() mutable {
+          (void)collLoop(cr, &sys, s, d, count, cfg, total, left, done);
+        });
+      }
+      break;
+    case osu::Stack::Ompi:
+      break;  // rejected in runColl
+  }
+  sys.engine.run();
+  const auto first = static_cast<std::size_t>(warmup - 1);
+  const auto last = static_cast<std::size_t>(total - 1);
+  if ((*done)[last] == 0) {
+    std::fprintf(stderr, "coll: %s allreduce did not complete\n", stackKey(stack));
+    std::exit(1);
+  }
+  return sim::toUs((*done)[last] - (*done)[first]) / iters;
+}
+
+int runColl(const Args& a) {
+  if (a.stack_set && a.stack == osu::Stack::Ompi) {
+    std::fprintf(stderr, "coll: stacks are ampi, charm, charm4py\n");
+    return 2;
+  }
+  const std::vector<osu::Stack> stacks =
+      a.stack_set ? std::vector<osu::Stack>{a.stack}
+                  : std::vector<osu::Stack>{osu::Stack::Ampi, osu::Stack::Charm,
+                                            osu::Stack::Charm4py};
+  const std::vector<coll::CollImpl> impls =
+      a.impl_set ? std::vector<coll::CollImpl>{a.impl}
+                 : std::vector<coll::CollImpl>{coll::CollImpl::Ring, coll::CollImpl::Tree,
+                                               coll::CollImpl::Reference};
+  const std::vector<std::size_t> sizes =
+      a.sizes.empty() ? std::vector<std::size_t>{65536, 1048576, 4194304} : a.sizes;
+  const int warmup = 1;
+  const int iters = std::min(a.iters, 10);
+
+  if (a.json) std::printf("{\"metric\":\"coll\",\"points\":[");
+  if (!a.json) std::printf("stack,impl,size_bytes,allreduce_us\n");
+  bool first = true;
+  for (const osu::Stack stack : stacks) {
+    for (const coll::CollImpl impl : impls) {
+      for (const std::size_t bytes : sizes) {
+        const double us = collPoint(a, stack, impl, bytes, warmup, iters);
+        if (a.json) {
+          std::printf("%s{\"stack\":\"%s\",\"impl\":\"%s\",\"size_bytes\":%zu,"
+                      "\"allreduce_us\":%.3f}",
+                      first ? "" : ",", stackKey(stack), coll::name(impl), bytes, us);
+          first = false;
+        } else {
+          std::printf("%s,%s,%zu,%.3f\n", stackKey(stack), coll::name(impl), bytes, us);
+        }
+      }
+    }
+  }
+  if (a.json) std::printf("]}\n");
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// --metric train: data-parallel SGD per-step anatomy
+// --------------------------------------------------------------------------
+
+/// CLI identifier of a training stack (matches the --stack values).
+[[nodiscard]] const char* trainKey(train::Stack s) {
+  switch (s) {
+    case train::Stack::Ampi:
+      return "ampi";
+    case train::Stack::Charm:
+      return "charm";
+    case train::Stack::Charm4py:
+      return "charm4py";
+  }
+  return "?";
+}
+
+int runTrainMetric(const Args& a) {
+  if (a.stack_set && a.stack == osu::Stack::Ompi) {
+    std::fprintf(stderr, "train: stacks are ampi, charm, charm4py\n");
+    return 2;
+  }
+  const std::vector<train::Stack> stacks =
+      a.stack_set ? std::vector<train::Stack>{a.stack == osu::Stack::Ampi ? train::Stack::Ampi
+                                              : a.stack == osu::Stack::Charm
+                                                  ? train::Stack::Charm
+                                                  : train::Stack::Charm4py}
+                  : std::vector<train::Stack>{train::Stack::Ampi, train::Stack::Charm,
+                                              train::Stack::Charm4py};
+  train::TrainConfig cfg;
+  cfg.ranks = a.ranks;
+  cfg.steps = a.steps;
+  cfg.nodes = std::max(a.nodes, (a.ranks + 5) / 6);
+  if (a.impl_set) cfg.coll.impl = a.impl;
+  cfg.host_staged = a.mode == osu::Mode::HostStaging;
+
+  if (a.json) std::printf("{\"metric\":\"train\",\"points\":[");
+  if (!a.json) {
+    std::printf(
+        "stack,step,step_us,compute_us,allreduce_wall_us,bucket_sum_us,overlap_ratio,"
+        "optimizer_us\n");
+  }
+  bool first = true;
+  bool all_verified = true;
+  for (const train::Stack stack : stacks) {
+    const train::TrainResult r = train::runTrain(cfg, stack);
+    all_verified = all_verified && (r.verified || !cfg.verify);
+    if (a.json) {
+      std::printf("%s{\"stack\":\"%s\",\"ranks\":%d,\"buckets\":%d,\"verified\":%s,"
+                  "\"avg_step_us\":%.1f,\"steady_overlap_ratio\":%.3f,\"steps\":[",
+                  first ? "" : ",", trainKey(stack), r.ranks, r.buckets,
+                  r.verified ? "true" : "false", r.avgStepUs(), r.avgOverlap());
+      for (std::size_t s = 0; s < r.steps.size(); ++s) {
+        const train::StepStat& st = r.steps[s];
+        std::printf("%s{\"step_us\":%.1f,\"compute_us\":%.1f,\"allreduce_wall_us\":%.1f,"
+                    "\"bucket_sum_us\":%.1f,\"optimizer_us\":%.1f}",
+                    s == 0 ? "" : ",", st.step_us, st.compute_us, st.allreduce_wall_us,
+                    st.bucket_sum_us, st.optimizer_us);
+      }
+      std::printf("]}");
+      first = false;
+    } else {
+      for (std::size_t s = 0; s < r.steps.size(); ++s) {
+        const train::StepStat& st = r.steps[s];
+        std::printf("%s,%zu,%.1f,%.1f,%.1f,%.1f,%.3f,%.1f\n", trainKey(stack), s, st.step_us,
+                    st.compute_us, st.allreduce_wall_us, st.bucket_sum_us, st.overlapRatio(),
+                    st.optimizer_us);
+      }
+    }
+  }
+  if (a.json) std::printf("]}\n");
+  if (!all_verified) {
+    std::fprintf(stderr, "train: gradient verification FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -604,5 +849,7 @@ int main(int argc, char** argv) {
   if (a.metric == "match") return runMatch(a);
   if (a.metric == "breakdown") return runBreakdown(a);
   if (a.metric == "shard") return runShard(a);
+  if (a.metric == "coll") return runColl(a);
+  if (a.metric == "train") return runTrainMetric(a);
   usage(argv[0]);
 }
