@@ -13,6 +13,13 @@ namespace {
 /// Internal tag space for collectives; user tags must stay below this.
 constexpr int kInternalTagBase = 1 << 30;
 
+/// Tag range reserved for the shrink agreement protocol — the only traffic a
+/// revoked communicator still carries (everything else fails fast), so
+/// survivors can always run recovery over the world communicator even after
+/// it was revoked.
+constexpr int kShrinkTagBase = kInternalTagBase + (1 << 21);
+[[nodiscard]] constexpr bool isShrinkTag(int tag) noexcept { return tag >= kShrinkTagBase; }
+
 /// Bucket key of a fully-concrete (comm, src, tag) matching triple. The
 /// fields are folded, not perfectly packed — BucketFifo hashes the key and
 /// predicates re-check the exact triple, so a fold collision only costs a
@@ -282,6 +289,20 @@ sim::Future<void> Rank::barrier() {
   return done.future();
 }
 
+bool Rank::aborted() const { return world_->commRevoked(0); }
+
+// ---------------------------------------------------------------------------
+// CommRank: ULFM surface
+// ---------------------------------------------------------------------------
+
+bool CommRank::revoked() const { return r_.world_->commRevoked(comm_.id()); }
+bool CommRank::dead() const { return r_.world_->rankDead(r_.rank()); }
+sim::Future<Comm> CommRank::shrink() {
+  sim::Promise<Comm> out;
+  (void)r_.world_->shrinkTask(r_.rank(), comm_, out);
+  return out.future();
+}
+
 // ---------------------------------------------------------------------------
 // World
 // ---------------------------------------------------------------------------
@@ -303,9 +324,23 @@ World::World(ck::Runtime& rt, int nranks) : rt_(rt) {
     st->out_of_order.resize(static_cast<std::size_t>(n));
     ranks_.push_back(std::move(st));
   }
+  rank_dead_.assign(static_cast<std::size_t>(n), false);
+  // ULFM-style failure propagation: when the UCX failure detector declares a
+  // PE dead, every communicator with a rank on it is revoked and its pending
+  // receives are failed — an AMPI operation never hangs on a dead peer.
+  failure_sub_ = rt_.cmi().ucx().onPeerFailure([this](int pe, sim::TimePoint) { onPeFailed(pe); });
+  stats_provider_ = rt_.system().obs.addStatsProvider([this](obs::Registry& r) {
+    r.setGauge("ampi.aborted_ops", aborted_ops_);
+    r.setGauge("ampi.orphaned_envelopes", orphaned_envelopes_);
+    r.setGauge("ampi.revoked_comms", revoked_comms_.size());
+    r.setGauge("ampi.shrink_events", shrink_events_);
+  });
 }
 
-World::~World() = default;
+World::~World() {
+  rt_.cmi().ucx().removePeerFailureSub(failure_sub_);
+  rt_.system().obs.removeStatsProvider(stats_provider_);
+}
 
 void World::run(std::function<sim::FutureTask(Rank&)> main) {
   // The coroutine frames created by invoking `main` keep referencing the
@@ -322,6 +357,76 @@ void World::run(std::function<sim::FutureTask(Rank&)> main) {
       });
     });
   }
+}
+
+void World::onPeFailed(int pe) {
+  for (int r = 0; r < size(); ++r) {
+    if (peOf(r) == pe) rank_dead_[static_cast<std::size_t>(r)] = true;
+  }
+  // Revoke every communicator containing a rank on the dead PE — including
+  // MPI_COMM_WORLD, whose survivors recover via CommRank::shrink().
+  for (const auto& [id, members] : comms_) {
+    if (revoked_comms_.count(id) != 0) continue;
+    for (int m : *members) {
+      if (rank_dead_[static_cast<std::size_t>(m)]) {
+        revoked_comms_.insert(id);
+        break;
+      }
+    }
+  }
+  const auto onRevoked = [this](int comm, int tag) {
+    return revoked_comms_.count(comm) != 0 && !isShrinkTag(tag);
+  };
+  // Phase 1: harvest. Pending receives on revoked communicators are pulled
+  // out of every rank's matching stores, and already-queued envelopes are
+  // orphaned. Failing a request resumes its coroutine, which may post new
+  // operations — so mutation of the stores is kept strictly separate from
+  // the completions below.
+  std::vector<std::shared_ptr<detail::ReqImpl>> to_fail;
+  const sim::TimePoint now = rt_.system().engine.now();
+  for (auto& st : ranks_) {
+    auto sweep = [&](sim::BucketFifo<PostedRecv>& store) {
+      for (;;) {
+        const std::uint32_t hit = store.findOrdered(
+            [&](const PostedRecv& p) { return onRevoked(p.comm, p.tag); });
+        if (hit == kNil) break;
+        to_fail.push_back(store.take(hit).impl);
+      }
+    };
+    sweep(st->posted_exact);
+    sweep(st->posted_wild);
+    for (;;) {
+      const std::uint32_t hit = st->unexpected.findOrdered(
+          [&](const Envelope& e) { return onRevoked(e.comm, e.tag); });
+      if (hit == kNil) break;
+      Envelope env = st->unexpected.take(hit);
+      orphanEnvelope(st->pe, env, now);
+    }
+  }
+  // Phase 2: complete. Guarded by ReqImpl's idempotence, so a rendezvous
+  // whose transfer was already in flight cannot double-complete.
+  for (const auto& impl : to_fail) {
+    ++aborted_ops_;
+    impl->fail(Status{-1, kAnyTag, 0});
+  }
+}
+
+void World::orphanEnvelope(int pe, Envelope& env, sim::TimePoint now) {
+  ++orphaned_envelopes_;
+  if (env.inlined) {
+    rt_.system().obs.spans.end(env.span, now, obs::Phase::Errored, pe);
+    rt_.cmi().ucx().recycleBuffer(std::move(env.data));
+    return;
+  }
+  // Rendezvous orphan: the sender's payload is parked in the machine layer
+  // waiting for this receive to be posted, and its completion callback fires
+  // only when the transfer retires. Drain it into a throwaway sink (the
+  // "orphaned chunk" of the recovery metrics) so a live sender on a revoked
+  // communicator never hangs. A dead sender's transfer simply blackholes;
+  // the sink is then never written.
+  auto sink = std::make_shared<std::vector<std::byte>>(static_cast<std::size_t>(env.bytes));
+  core::DeviceRdmaOp op{sink->data(), env.bytes, env.dtag};
+  rt_.dev().lrtsRecvDevice(pe, op, core::DeviceRecvType::Ampi, [sink] {});
 }
 
 bool World::isDeviceCached(const void* p) {
@@ -349,6 +454,14 @@ Request World::isendImpl(int src_rank, const void* buf, std::uint64_t bytes, int
   pe.charge(sim::usec(costs.ampi_call_us + costs.ampi_overhead_send_us));
 
   Request req;
+  if (commRevoked(comm) && !isShrinkTag(tag)) {
+    // ULFM fail-fast: the send is refused before a sequence number is
+    // consumed, so per-pair FIFO resequencing stays intact for traffic on
+    // communicators created after recovery.
+    ++aborted_ops_;
+    req.impl_->fail(Status{status_src, tag, 0});
+    return req;
+  }
   const std::uint32_t seq = st.seq_out[static_cast<std::size_t>(dst)]++;
   const bool device = isDeviceCached(buf);
   const Status sent_status{status_src, tag, bytes};
@@ -402,6 +515,11 @@ Request World::irecvImpl(int dst_rank, void* buf, std::uint64_t bytes, int src, 
   pe.charge(sim::usec(costs.ampi_call_us + costs.ampi_match_us));
 
   Request req;
+  if (commRevoked(comm) && !isShrinkTag(tag)) {
+    ++aborted_ops_;
+    req.impl_->fail(Status{-1, tag, 0});
+    return req;
+  }
   PostedRecv p{req.impl_, buf, bytes, src, tag, comm};
 
   // Search the unexpected queue in arrival order (paper Sec. III-C2): a
@@ -474,6 +592,13 @@ void World::enqueueEnvelope(int dst_rank, Envelope env) {
 
 void World::processEnvelope(int dst_rank, Envelope env) {
   RankState& st = *ranks_[static_cast<std::size_t>(dst_rank)];
+  if (commRevoked(env.comm) && !isShrinkTag(env.tag)) {
+    // Late arrival on a revoked communicator: no receive can ever match it
+    // (pending ones were failed, new ones are refused), so discard it now
+    // instead of leaking it into the unexpected store.
+    orphanEnvelope(st.pe, env, rt_.system().engine.now());
+    return;
+  }
   // Earliest fully-concrete candidate: FIFO chain of the envelope's triple.
   const std::uint32_t ex = st.posted_exact.findChain(
       matchKey(env.src_rank, env.tag, env.comm), [&env](const PostedRecv& p) {
@@ -603,6 +728,10 @@ sim::FutureTask World::splitTask(int world_rank, Comm comm, int color, int key,
   // them, and scatters the new communicator ids back. All traffic uses
   // internal world-comm tags derived from a per-communicator phase counter,
   // so concurrent splits of different communicators cannot interfere.
+  if (commRevoked(comm.id())) {
+    out.set(Comm{});
+    co_return;
+  }
   const int n = comm.size();
   const int local = comm.rankOf(world_rank);
   assert(local >= 0 && "split called by a non-member");
@@ -674,6 +803,10 @@ sim::FutureTask World::barrierTask(int rank, sim::Promise<void> done) {
   Rank& self = st.self;
   int round = 0;
   for (int d = 1; d < n; d <<= 1, ++round) {
+    // A barrier cannot complete once the world is revoked: drain (the
+    // remaining exchanges would fail fast anyway) and let the caller observe
+    // the failure through Rank::aborted().
+    if (commRevoked(0)) break;
     const int to = (rank + d) % n;
     const int from = (rank - d + n) % n;
     const int tag = kInternalTagBase + static_cast<int>(phase % 1024) * 64 + round;
@@ -683,6 +816,54 @@ sim::FutureTask World::barrierTask(int rank, sim::Promise<void> done) {
     co_await self.wait(s);
   }
   done.set();
+}
+
+sim::FutureTask World::shrinkTask(int world_rank, Comm comm, sim::Promise<Comm> out) {
+  // MPI_Comm_shrink (ULFM): collective over the surviving members of a
+  // (typically revoked) communicator. Every survivor derives the same
+  // survivor list from the detector's globally-consistent dead set, then the
+  // group agrees on the new communicator id via a gather/scatter rooted at
+  // the lowest surviving rank — carried over shrink-reserved tags, the one
+  // kind of traffic a revoked communicator still accepts.
+  if (rank_dead_[static_cast<std::size_t>(world_rank)]) {
+    out.set(Comm{});
+    co_return;
+  }
+  std::vector<int> survivors;
+  for (int i = 0; i < comm.size(); ++i) {
+    const int w = comm.worldRankOf(i);
+    if (!rank_dead_[static_cast<std::size_t>(w)]) survivors.push_back(w);
+  }
+  ++shrink_events_;
+  const std::uint64_t phase =
+      ranks_[static_cast<std::size_t>(world_rank)]->shrink_phase[comm.id()]++;
+  // Fold the communicator id into the tag so concurrent shrinks of different
+  // communicators (all carried over the world channel) cannot cross-match.
+  const int tag =
+      kShrinkTagBase + (comm.id() % 64) * 2048 + static_cast<int>(phase % 1024) * 2;
+  Rank& self = ranks_[static_cast<std::size_t>(world_rank)]->self;
+  const int root = survivors.front();
+  const int nsurv = static_cast<int>(survivors.size());
+  if (world_rank != root) {
+    co_await self.wait(self.isend(&world_rank, sizeof world_rank, root, tag));
+    int new_id = -1;
+    co_await self.recv(&new_id, sizeof new_id, root, tag + 1);
+    out.set(commOf(new_id));
+    co_return;
+  }
+  // Root: one hello per survivor doubles as the agreement that everyone
+  // reached shrink, then the freshly registered id is scattered back.
+  for (int i = 1; i < nsurv; ++i) {
+    int w = -1;
+    co_await self.recv(&w, sizeof w, kAnySource, tag);
+  }
+  const int id = registerComm(survivors);
+  std::vector<Request> sends;
+  for (int i = 1; i < nsurv; ++i) {
+    sends.push_back(self.isend(&id, sizeof id, survivors[static_cast<std::size_t>(i)], tag + 1));
+  }
+  co_await self.waitAll(sends);
+  out.set(commOf(id));
 }
 
 }  // namespace cux::ampi

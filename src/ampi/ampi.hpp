@@ -4,6 +4,7 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -54,9 +55,24 @@ struct ReqImpl {
   sim::Promise<void> done;
   Status status;
   bool completed = false;
+  /// Terminal failure: the peer's PE died (or the communicator was revoked)
+  /// before the operation could complete.
+  bool peer_failed = false;
 
+  /// Both entry points are idempotent: a request force-failed by communicator
+  /// revocation may still see its original completion callback fire later
+  /// (e.g. a rendezvous transfer that was already in flight), and the
+  /// underlying Promise asserts on double-set.
   void complete(const Status& st) {
+    if (completed) return;
     status = st;
+    completed = true;
+    done.set();
+  }
+  void fail(const Status& st) {
+    if (completed) return;
+    status = st;
+    peer_failed = true;
     completed = true;
     done.set();
   }
@@ -71,6 +87,9 @@ class Request {
   [[nodiscard]] bool done() const noexcept { return impl_->completed; }
   [[nodiscard]] const Status& status() const noexcept { return impl_->status; }
   [[nodiscard]] sim::Future<void> future() const { return impl_->done.future(); }
+  /// True when the operation terminated because the peer's PE failed or the
+  /// communicator was revoked (MPI_ERR_PROC_FAILED / MPI_ERR_REVOKED).
+  [[nodiscard]] bool peerFailed() const noexcept { return impl_->peer_failed; }
 
  private:
   friend class World;
@@ -217,6 +236,12 @@ class Rank {
     return split(comm, 0, comm.rankOf(rank_));
   }
 
+  /// ULFM surface over MPI_COMM_WORLD: true once the failure detector has
+  /// revoked the world communicator because a member's PE died. Pending and
+  /// future world operations then fail fast (peerFailed()) instead of
+  /// hanging; survivors recover via CommRank::shrink().
+  [[nodiscard]] bool aborted() const;
+
  private:
   friend class World;
   friend class CommRank;
@@ -283,6 +308,23 @@ class CommRank {
     return r_.reduceScatter(sendbuf, recvbuf, count_each_doubles, op, comm_);
   }
 
+  // --- ULFM-style fault tolerance -----------------------------------------
+  /// True once the failure detector declared a member's PE dead: the
+  /// communicator is revoked, its pending receives were failed, and every
+  /// subsequent operation (except the shrink protocol) fails fast.
+  [[nodiscard]] bool revoked() const;
+  /// True when this rank itself sits on a failed PE.
+  [[nodiscard]] bool dead() const;
+  /// Generic abort predicate shared with the other stacks' rank types:
+  /// collectives over this view cannot complete normally any more.
+  [[nodiscard]] bool aborted() const { return revoked() || dead(); }
+  /// MPI_Comm_shrink: collective over the *surviving* members of a revoked
+  /// communicator. All survivors agree (gather/scatter over shrink-reserved
+  /// tags, rooted at the lowest surviving rank) on a new communicator
+  /// containing exactly the live members, in old rank order. Dead ranks
+  /// resolve immediately to an invalid Comm.
+  [[nodiscard]] sim::Future<Comm> shrink();
+
  private:
   Rank& r_;
   Comm comm_;
@@ -323,8 +365,30 @@ class World {
   void setCollConfig(const coll::CollConfig& cfg) noexcept { coll_cfg_ = cfg; }
   [[nodiscard]] const coll::CollConfig& collConfig() const noexcept { return coll_cfg_; }
 
+  // --- ULFM-style failure state (fed by the UCX failure detector) ---------
+  /// True once communicator `id` was revoked because a member's PE died.
+  [[nodiscard]] bool commRevoked(int id) const noexcept {
+    return revoked_comms_.count(id) != 0;
+  }
+  /// True once `world_rank` was declared dead by the failure detector.
+  [[nodiscard]] bool rankDead(int world_rank) const noexcept {
+    return world_rank >= 0 && world_rank < size() &&
+           rank_dead_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Operations force-failed (or refused) because their communicator was
+  /// revoked.
+  [[nodiscard]] std::uint64_t abortedOps() const noexcept { return aborted_ops_; }
+  /// Envelopes discarded because their sender died or their communicator was
+  /// revoked before a matching receive existed.
+  [[nodiscard]] std::uint64_t orphanedEnvelopes() const noexcept { return orphaned_envelopes_; }
+  /// shrink() collectives started by survivors.
+  [[nodiscard]] std::uint64_t shrinkEvents() const noexcept { return shrink_events_; }
+  /// Communicators revoked so far.
+  [[nodiscard]] std::uint64_t revokedComms() const noexcept { return revoked_comms_.size(); }
+
  private:
   friend class Rank;
+  friend class CommRank;
   struct RankChare;
 
   struct Envelope {
@@ -370,7 +434,8 @@ class World {
     std::vector<std::uint32_t> seq_expected;  ///< next in-order seq per source rank
     std::vector<std::vector<Envelope>> out_of_order;  ///< per source rank
     std::uint64_t barrier_phase = 0;
-    std::unordered_map<int, std::uint64_t> split_phase;  ///< per communicator
+    std::unordered_map<int, std::uint64_t> split_phase;   ///< per communicator
+    std::unordered_map<int, std::uint64_t> shrink_phase;  ///< per communicator
   };
 
   /// src/dst are world ranks; tag/comm form the matching envelope.
@@ -385,6 +450,14 @@ class World {
   sim::FutureTask barrierTask(int rank, sim::Promise<void> done);
   sim::FutureTask splitTask(int world_rank, Comm comm, int color, int key,
                             sim::Promise<Comm> out);
+  sim::FutureTask shrinkTask(int world_rank, Comm comm, sim::Promise<Comm> out);
+  /// Detector callback: marks the PE's ranks dead, revokes every
+  /// communicator containing one, fails their pending receives and orphans
+  /// their queued envelopes.
+  void onPeFailed(int pe);
+  /// Discards a message that can never be received (revoked communicator):
+  /// recycles inline payloads, drains parked rendezvous transfers.
+  void orphanEnvelope(int pe, Envelope& env, sim::TimePoint now);
   [[nodiscard]] Comm commOf(int id);
   int registerComm(std::vector<int> members);
 
@@ -398,6 +471,14 @@ class World {
   int next_comm_id_ = 1;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  // --- failure state ------------------------------------------------------
+  std::vector<bool> rank_dead_;          ///< world-rank indexed
+  std::unordered_set<int> revoked_comms_;
+  std::uint64_t aborted_ops_ = 0;
+  std::uint64_t orphaned_envelopes_ = 0;
+  std::uint64_t shrink_events_ = 0;
+  int stats_provider_ = 0;
+  int failure_sub_ = 0;  ///< detector subscription (dtor deregisters)
 };
 
 }  // namespace cux::ampi

@@ -29,6 +29,18 @@
 /// the CuPy/ChainerMN allocation pattern: step 0 faults the pool in, every
 /// later step runs allocation-free.
 ///
+/// Checkpoint/restart: every rank carries persistent model state (a sampled
+/// slice of weights plus momentum, updated from the *reduced* gradients each
+/// step) and PUPs it into a driver-held store every `checkpoint_every`
+/// completed steps. When a scheduled fail-stop PE failure (TrainFault)
+/// aborts a step mid-allreduce, every rank — survivors and the dead rank's
+/// drained coroutine alike — abandons the step without touching model
+/// state; the driver then rebuilds a fresh machine, restores all ranks from
+/// the newest checkpoint present for every rank, and reruns the remaining
+/// steps. Because the momentum-SGD update consumes bit-exact integer-valued
+/// reduced gradients, the recovered run's final model digest is bit-identical
+/// to an unfailed run's.
+///
 /// The same templated rank program runs on all three stacks: AMPI
 /// (ampi::Rank), Charm++ array sections (coll::SectionRank), and Charm4py
 /// channel groups (coll::C4pRank).
@@ -39,6 +51,15 @@ enum class Stack : std::uint8_t { Ampi, Charm, Charm4py };
 
 [[nodiscard]] const char* name(Stack s);
 [[nodiscard]] std::optional<Stack> parseStack(std::string_view s);
+
+/// A scheduled fail-stop failure for the training job: PE `kill_pe` (== the
+/// rank index; one worker per PE) halts at virtual time `kill_at_us` on the
+/// first attempt. The restart attempts run failure-free — the job outlives
+/// the machine that failed, not the other way round.
+struct TrainFault {
+  int kill_pe = -1;       ///< -1: no failure injected
+  double kill_at_us = 0;  ///< virtual microseconds
+};
 
 struct TrainConfig {
   int nodes = 2;
@@ -63,6 +84,13 @@ struct TrainConfig {
   double fwd_bytes_per_param = 16.0;
   double bwd_bytes_per_param = 32.0;
   double opt_bytes_per_param = 24.0;
+  /// Fail-stop injection for the first attempt (off by default).
+  TrainFault fault{};
+  /// PUP model state into the driver-held store every N completed steps
+  /// (0 disables checkpointing — a failure then restarts from step 0).
+  int checkpoint_every = 1;
+  /// Restart attempts allowed before the job is declared failed.
+  int max_restarts = 3;
 
   [[nodiscard]] std::uint64_t totalParams() const {
     std::uint64_t t = 0;
@@ -93,7 +121,21 @@ struct TrainResult {
   bool verified = false;  ///< gradient sums matched the analytic value
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
-  double total_us = 0;
+  double total_us = 0;  ///< summed over all attempts (lost work included)
+
+  // --- failure/recovery outcome -------------------------------------------
+  bool failed = false;     ///< recovery gave up (max_restarts exhausted)
+  bool recovered = false;  ///< a fail-stop hit and the job still finished
+  int restarts = 0;        ///< checkpoint/restart cycles taken
+  int completed_steps = 0; ///< rank-0 steps completed across attempts
+  /// Ranks that neither finished nor took the abort exit, summed over
+  /// attempts. Always 0 when the drain layers hold their no-hang guarantee;
+  /// `gpucomm_sweep --metric failstop` turns nonzero into a failing exit.
+  int hung_ranks = 0;
+  /// FNV-1a over rank 0's final model state (weights, momentum, step). An
+  /// injected failure + restart must reproduce the unfailed run's digest
+  /// bit-for-bit — pinned by tests/test_failstop.cpp.
+  std::uint64_t model_digest = 0;
 
   [[nodiscard]] double avgStepUs() const {
     if (steps.empty()) return 0;

@@ -59,9 +59,66 @@ void Charm4py::sendInvoke(int from_pe, int target_pe, std::uint64_t id) {
 Charm4py::Charm4py(ck::Runtime& rt) : rt_(rt) {
   chares_.reserve(static_cast<std::size_t>(rt.numPes()));
   for (int pe = 0; pe < rt.numPes(); ++pe) chares_.push_back(rt.create<PerPeChare>(pe, this));
+  pe_dead_.assign(static_cast<std::size_t>(rt.numPes()), 0);
+  failure_sub_ =
+      rt_.cmi().ucx().onPeerFailure([this](int pe, sim::TimePoint) { onPeFailed(pe); });
+  stats_provider_ = rt_.system().obs.addStatsProvider([this](obs::Registry& r) {
+    r.setGauge("c4p.dead_channels", dead_chans_.size());
+    r.setGauge("c4p.failed_recvs", failed_recvs_);
+    r.setGauge("c4p.orphaned_envelopes", orphaned_envelopes_);
+    r.setGauge("c4p.aborted_ops", aborted_ops_);
+  });
 }
 
-Charm4py::~Charm4py() = default;
+Charm4py::~Charm4py() {
+  rt_.cmi().ucx().removePeerFailureSub(failure_sub_);
+  rt_.system().obs.removeStatsProvider(stats_provider_);
+}
+
+void Charm4py::onPeFailed(int pe) {
+  if (pe >= 0 && static_cast<std::size_t>(pe) < pe_dead_.size()) {
+    pe_dead_[static_cast<std::size_t>(pe)] = 1;
+  }
+  std::vector<std::uint64_t> newly_dead;
+  for (const auto& e : ends_) {
+    if (e->pe_ == pe && dead_chans_.insert(e->chan_).second) newly_dead.push_back(e->chan_);
+  }
+  // Harvest first, resume last: force-completing a waiting receive resumes
+  // its coroutine, which may immediately call send/recv again (refused on a
+  // dead channel, but still touching endpoint state mid-sweep otherwise).
+  std::vector<sim::Promise<void>> to_fail;
+  for (const std::uint64_t chan : newly_dead) {
+    for (int side = 0; side < 2; ++side) {
+      // makeChannel appends side 0 then side 1, so ends_ is indexable.
+      ChannelEnd* e = ends_[chan * 2 + static_cast<std::uint64_t>(side)].get();
+      EndpointState& st = endpoint(chan, side);
+      // Queued envelopes can never match: both sides refuse future receives
+      // on a dead channel. Orphan on both sides so no span is left open.
+      for (Envelope& env : st.arrived) orphanEnvelope(e->pe_, env);
+      for (Envelope& env : st.out_of_order) orphanEnvelope(e->pe_, env);
+      st.arrived.clear();
+      st.out_of_order.clear();
+      // Waiting receives drain on BOTH sides: the live side observes the
+      // failure instead of hanging, and the dead side's coroutine must still
+      // reach its own abort exit (its subsequent calls are refused on the
+      // dead channel) — a frame parked forever would outlive the run as a
+      // leak.
+      for (PendingRecv& p : st.waiting) {
+        to_fail.push_back(p.done);
+        ++failed_recvs_;
+      }
+      st.waiting.clear();
+    }
+  }
+  for (sim::Promise<void>& p : to_fail) p.set();
+}
+
+void Charm4py::orphanEnvelope(int pe, Envelope& env) {
+  ++orphaned_envelopes_;
+  obs::SpanCollector& spans = rt_.system().obs.spans;
+  const std::uint64_t sp = env.inlined ? env.span : spans.spanForTag(env.dtag);
+  spans.end(sp, rt_.system().engine.now(), obs::Phase::Errored, pe);
+}
 
 Channel Charm4py::makeChannel(int pe_a, int pe_b) {
   const std::uint64_t chan = next_chan_++;
@@ -118,6 +175,7 @@ sim::Future<void> ChannelEnd::send(const void* buf, std::uint64_t bytes) {
 sim::Future<void> ChannelEnd::recv(void* buf, std::uint64_t bytes) {
   return owner_->recvImpl(*this, buf, bytes);
 }
+bool ChannelEnd::aborted() const { return owner_->channelDead(chan_); }
 
 Charm4py::EndpointState& Charm4py::endpoint(std::uint64_t chan, int side) {
   return endpoints_[chan * 2 + static_cast<std::uint64_t>(side)];
@@ -138,6 +196,16 @@ sim::Future<void> Charm4py::sendImpl(ChannelEnd& end, const void* buf, std::uint
   const model::LayerCosts& costs = rt_.costs();
   cmi::Pe& pe = rt_.cmi().pe(src_pe);
   pe.charge(sim::usec(costs.py_call_us));
+
+  if (channelDead(end.chan_)) {
+    // Drain semantics on a dead channel: refuse before consuming a sequence
+    // number (per-channel FIFO resequencing must stay intact) and complete
+    // immediately — the caller observes the failure through aborted().
+    ++aborted_ops_;
+    sim::Promise<void> done;
+    pe.exec(0, [done] { done.set(); });
+    return done.future();
+  }
 
   // The sender's own endpoint tracks the outbound sequence for (chan,
   // dst_side): envelopes are matched on the receiving side strictly in order.
@@ -194,6 +262,16 @@ sim::Future<void> Charm4py::recvImpl(ChannelEnd& end, void* buf, std::uint64_t b
   cmi::Pe& pe = rt_.cmi().pe(end.pe_);
   pe.charge(sim::usec(costs.py_call_us));
 
+  if (channelDead(end.chan_)) {
+    // No data is coming on a dead channel (sends are refused and the sweep
+    // orphaned everything queued): complete immediately, buffer contents
+    // undefined, failure observable through aborted().
+    ++aborted_ops_;
+    sim::Promise<void> done;
+    pe.exec(0, [done] { done.set(); });
+    return done.future();
+  }
+
   EndpointState& st = endpoint(end.chan_, end.side_);
   PendingRecv pending;
   pending.buf = buf;
@@ -205,6 +283,12 @@ sim::Future<void> Charm4py::recvImpl(ChannelEnd& end, void* buf, std::uint64_t b
 }
 
 void Charm4py::onEnvelope(int pe, std::uint64_t chan, int side, Envelope env) {
+  if (channelDead(chan)) {
+    // A pre-failure envelope that was still in flight when the channel died:
+    // the receiving side refuses new receives, so it can never match.
+    orphanEnvelope(pe, env);
+    return;
+  }
   EndpointState& st = endpoint(chan, side);
   {
     // Metadata (or the whole inline message) has reached the receiver.

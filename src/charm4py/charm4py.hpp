@@ -6,6 +6,7 @@
 #include <cstring>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "charm/charm.hpp"
@@ -46,6 +47,12 @@ class ChannelEnd {
 
   [[nodiscard]] int pe() const noexcept { return pe_; }
 
+  /// True once the failure detector declared either endpoint's PE dead: the
+  /// channel is aborted, and send/recv complete immediately without wire
+  /// traffic (drain semantics — the caller observes the failure here, never
+  /// through a hang).
+  [[nodiscard]] bool aborted() const;
+
  private:
   friend class Charm4py;
   Charm4py* owner_ = nullptr;
@@ -72,6 +79,26 @@ class Charm4py {
 
   /// Establishes a channel between chares on `pe_a` and `pe_b`.
   Channel makeChannel(int pe_a, int pe_b);
+
+  // --- failure model --------------------------------------------------------
+
+  /// True once the detector declared a PE of either end dead. A dead
+  /// channel's send/recv complete immediately (no seq consumed, no wire
+  /// traffic); its queued state was orphaned at announcement time.
+  [[nodiscard]] bool channelDead(std::uint64_t chan) const {
+    return dead_chans_.count(chan) != 0;
+  }
+  /// Detector's announcement already processed for `pe`.
+  [[nodiscard]] bool peFailed(int pe) const {
+    return pe >= 0 && static_cast<std::size_t>(pe) < pe_dead_.size() &&
+           pe_dead_[static_cast<std::size_t>(pe)] != 0;
+  }
+  /// Receives failed (promise force-completed) by failure sweeps.
+  [[nodiscard]] std::uint64_t failedRecvs() const noexcept { return failed_recvs_; }
+  /// Queued envelopes discarded because their channel died.
+  [[nodiscard]] std::uint64_t orphanedEnvelopes() const noexcept { return orphaned_envelopes_; }
+  /// send/recv calls refused (completed immediately) on dead channels.
+  [[nodiscard]] std::uint64_t abortedOps() const noexcept { return aborted_ops_; }
 
   /// Launches a Python coroutine on `pe` (entry method invocation).
   void startOn(int pe, std::function<void()> fn);
@@ -162,6 +189,15 @@ class Charm4py {
   void matchOne(int pe, EndpointState& st, obs::Phase matched);
   EndpointState& endpoint(std::uint64_t chan, int side);
   void sendInvoke(int from_pe, int target_pe, std::uint64_t id);
+  /// Detector announcement: marks channels with an end on `pe` dead, fails
+  /// waiting receives on both sides (survivors observe the failure, the dead
+  /// side's coroutines drain to their abort exit) and orphans queued
+  /// envelopes.
+  void onPeFailed(int pe);
+  /// Discards a queued envelope of a dead channel: closes its span
+  /// (Errored) and counts it. The payload (device path) never lands — its
+  /// machine-layer receive was never posted.
+  void orphanEnvelope(int pe, Envelope& env);
 
   ck::Runtime& rt_;
   std::vector<ck::Proxy<PerPeChare>> chares_;  // one per PE
@@ -170,6 +206,13 @@ class Charm4py {
   std::unordered_map<std::uint64_t, PendingCall> calls_;
   std::uint64_t next_chan_ = 0;
   std::uint64_t next_call_ = 0;
+  std::unordered_set<std::uint64_t> dead_chans_;
+  std::vector<char> pe_dead_;
+  std::uint64_t failed_recvs_ = 0;
+  std::uint64_t orphaned_envelopes_ = 0;
+  std::uint64_t aborted_ops_ = 0;
+  int failure_sub_ = 0;    ///< detector subscription (dtor deregisters)
+  int stats_provider_ = 0; ///< obs registry handle (dtor deregisters)
 };
 
 }  // namespace cux::c4p

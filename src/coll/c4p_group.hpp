@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "charm4py/charm4py.hpp"
@@ -54,6 +55,15 @@ class C4pRank {
   [[nodiscard]] sim::Future<void> wait(const C4pReq& r) { return r.f; }
   [[nodiscard]] sim::Future<void> waitAll(const std::vector<C4pReq>& rs);
 
+  /// ULFM-ish abort surface consumed by the coll:: templates: true once the
+  /// failure detector declared any group member dead. Channels touching the
+  /// dead PE drain at the c4p layer (send/recv complete immediately);
+  /// live-live channels keep working, so in-flight rings drain end to end.
+  /// Survivors rebuild via C4pGroup::shrink().
+  [[nodiscard]] bool aborted() const;
+  /// True when this member's own PE is the dead one.
+  [[nodiscard]] bool dead() const;
+
  private:
   C4pGroup* grp_ = nullptr;
   int rank_ = -1;
@@ -66,6 +76,7 @@ class C4pRank {
 class C4pGroup {
  public:
   C4pGroup(c4p::Charm4py& py, std::vector<int> pes, int lanes = 1);
+  ~C4pGroup();
   C4pGroup(const C4pGroup&) = delete;
   C4pGroup& operator=(const C4pGroup&) = delete;
 
@@ -75,6 +86,22 @@ class C4pGroup {
   [[nodiscard]] C4pRank rank(int r, int lane = 0) { return C4pRank(*this, r, lane); }
   [[nodiscard]] c4p::Charm4py& charm4py() noexcept { return py_; }
 
+  // --- failure model --------------------------------------------------------
+
+  /// True once the failure detector declared any member PE dead.
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
+  [[nodiscard]] bool memberDead(int rank) const {
+    return member_dead_[static_cast<std::size_t>(rank)] != 0;
+  }
+  /// Member PEs the detector has not declared dead, in group-rank order.
+  [[nodiscard]] std::vector<int> survivors() const;
+  /// ULFM MPI_Comm_shrink analogue: a fresh group (same lane count) over the
+  /// surviving PEs. The detector announcement is globally consistent, so
+  /// every survivor derives the identical member list — no agreement round
+  /// (contrast ampi::CommRank::shrink()). The dead channels of the old mesh
+  /// stay drained at the c4p layer.
+  [[nodiscard]] std::unique_ptr<C4pGroup> shrink() const;
+
  private:
   friend class C4pRank;
 
@@ -82,11 +109,15 @@ class C4pGroup {
     return ends_[static_cast<std::size_t>(lane)]
                 [static_cast<std::size_t>(me) * pes_.size() + static_cast<std::size_t>(peer)];
   }
+  void onPeFailed(int pe);
 
   c4p::Charm4py& py_;
   std::vector<int> pes_;
   int lanes_ = 1;
   std::vector<std::vector<c4p::ChannelEnd*>> ends_;  // [lane][me*n + peer]
+  std::vector<char> member_dead_;
+  bool aborted_ = false;
+  int failure_sub_ = 0;  ///< detector subscription (dtor deregisters)
 };
 
 }  // namespace cux::coll

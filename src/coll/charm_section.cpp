@@ -63,6 +63,15 @@ void SectionMailbox::seg(ck::Buffer b, std::int32_t src, std::uint64_t tag) {
     arr.pr.done.set();
     return;
   }
+  if (owner_->aborted_) {
+    // Section aborted while this staged segment was in flight: no receive
+    // will ever claim it (irecv refuses post-abort), so return the stage to
+    // the pool instead of parking it in unexpected_ forever.
+    hw::System& sys = owner_->system();
+    sys.pool.free(arr.stage);
+    sys.obs.registry.addCounter("section.orphaned_chunks", 1);
+    return;
+  }
   auto& posted = posted_[k];
   if (!posted.empty()) {
     // The receive was posted between metadata arrival and payload landing.
@@ -92,9 +101,18 @@ void SectionMailbox::completeStaged(Staged s, PostedRecv pr) {
 int SectionRank::size() const { return sec_->size(); }
 int SectionRank::pe() const { return sec_->peOf(rank_); }
 hw::System& SectionRank::system() const { return sec_->rt_.system(); }
+bool SectionRank::aborted() const { return sec_->aborted_; }
+bool SectionRank::dead() const { return sec_->memberDead(rank_); }
 
 SectionReq SectionRank::isend(const void* buf, std::uint64_t bytes, int dst, int tag) {
   sim::Promise<void> sent;
+  if (sec_->aborted_) {
+    // Drain semantics: the section is aborted, so refuse the send (a dead
+    // destination's onSent would never fire) and complete immediately — the
+    // caller observes the failure through aborted(), not through a hang.
+    sent.set();
+    return SectionReq{sent.future()};
+  }
   ck::Buffer b(buf, bytes);
   b.onSent([sent] { sent.set(); });
   sec_->boxes_[static_cast<std::size_t>(dst)].sendFrom<&SectionMailbox::seg>(
@@ -108,6 +126,13 @@ SectionReq SectionRank::irecv(void* buf, std::uint64_t bytes, int src, int tag) 
   const std::uint64_t k =
       matchKey(src, static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
   sim::Promise<void> done;
+  if (sec_->aborted_) {
+    // Drain semantics: no data is coming (sends are refused post-abort and
+    // unexpected chunks were orphaned by the sweep) — complete immediately,
+    // buffer contents undefined, failure observable through aborted().
+    done.set();
+    return SectionReq{done.future()};
+  }
 
   auto& unexpected = box->unexpected_[k];
   if (!unexpected.empty()) {
@@ -146,6 +171,66 @@ CharmSection::CharmSection(ck::Runtime& rt, std::vector<int> pes)
     proxy.local()->owner_ = this;
     boxes_.push_back(proxy);
   }
+  member_dead_.assign(pes_.size(), 0);
+  failure_sub_ =
+      rt_.cmi().ucx().onPeerFailure([this](int pe, sim::TimePoint) { onPeFailed(pe); });
+}
+
+CharmSection::~CharmSection() { rt_.cmi().ucx().removePeerFailureSub(failure_sub_); }
+
+void CharmSection::onPeFailed(int pe) {
+  bool member = false;
+  for (std::size_t r = 0; r < pes_.size(); ++r) {
+    if (pes_[r] == pe) {
+      member_dead_[r] = 1;
+      member = true;
+    }
+  }
+  if (!member) return;
+  aborted_ = true;
+  hw::System& sys = rt_.system();
+  std::uint64_t failed_recvs = 0;
+  std::uint64_t orphaned = 0;
+  for (auto& proxy : boxes_) {
+    SectionMailbox* box = proxy.local();
+    // Still-unmatched posted receives can never match now: post-abort no
+    // member sends (isend refuses), and anything the dead PE had in flight
+    // blackholed. Matched receives are NOT here — segPost moved them into
+    // inflight_, and those drain through the entry method (live sender) or
+    // the machine layer's peer-failed receive path (dead sender).
+    for (auto& [key, posted] : box->posted_) {
+      for (SectionMailbox::PostedRecv& pr : posted) {
+        pr.done.set();
+        ++failed_recvs;
+      }
+      posted.clear();
+    }
+    // Unexpected staged chunks will never be claimed by an irecv (refused
+    // post-abort): return their pool memory.
+    for (auto& [key, staged] : box->unexpected_) {
+      for (SectionMailbox::Staged& s : staged) {
+        sys.pool.free(s.stage);
+        ++orphaned;
+      }
+      staged.clear();
+    }
+  }
+  if (failed_recvs != 0) sys.obs.registry.addCounter("section.aborted_recvs", failed_recvs);
+  if (orphaned != 0) sys.obs.registry.addCounter("section.orphaned_chunks", orphaned);
+}
+
+std::vector<int> CharmSection::survivors() const {
+  std::vector<int> out;
+  out.reserve(pes_.size());
+  for (std::size_t r = 0; r < pes_.size(); ++r) {
+    if (member_dead_[r] == 0) out.push_back(pes_[r]);
+  }
+  return out;
+}
+
+std::unique_ptr<CharmSection> CharmSection::shrink() const {
+  rt_.system().obs.registry.addCounter("section.shrink_events", 1);
+  return std::make_unique<CharmSection>(rt_, survivors());
 }
 
 }  // namespace cux::coll

@@ -150,9 +150,10 @@ class Scratch {
 }
 
 /// Lifecycle span of one collective call on one rank. RAII: ends the span
-/// (Phase::Completed) when the owning coroutine frame is destroyed. All
-/// operations are no-ops when the collector is disabled (id 0), and none of
-/// them schedule engine events, so collectives stay trace-invisible.
+/// (Phase::Completed, or Phase::Errored after markAborted()) when the owning
+/// coroutine frame is destroyed. All operations are no-ops when the
+/// collector is disabled (id 0), and none of them schedule engine events, so
+/// collectives stay trace-invisible.
 class CollSpan {
  public:
   CollSpan(hw::System& sys, int pe, std::uint64_t bytes, const char* kind)
@@ -162,7 +163,9 @@ class CollSpan {
   CollSpan(const CollSpan&) = delete;
   CollSpan& operator=(const CollSpan&) = delete;
   ~CollSpan() {
-    if (id_ != 0) spans_->end(id_, eng_->now(), obs::Phase::Completed, pe_);
+    if (id_ != 0) {
+      spans_->end(id_, eng_->now(), aborted_ ? obs::Phase::Errored : obs::Phase::Completed, pe_);
+    }
   }
 
   /// One pipelined segment handed to the point-to-point layer.
@@ -173,13 +176,39 @@ class CollSpan {
   void reduce(std::uint64_t bytes) {
     if (id_ != 0) spans_->phase(id_, eng_->now(), obs::Phase::CollReduce, pe_, bytes);
   }
+  /// The collective drained after a peer failure: the span ends Errored.
+  void markAborted() noexcept { aborted_ = true; }
 
  private:
   obs::SpanCollector* spans_;
   sim::Engine* eng_;
   std::uint64_t id_ = 0;
   int pe_ = -1;
+  bool aborted_ = false;
 };
+
+/// Fault-tolerance probe shared by every public entry point: a rank type may
+/// expose aborted() (true once its communicator/group lost a member to a PE
+/// failure); rank types without the member never abort. Point-to-point
+/// operations under an aborted rank complete immediately with garbage data —
+/// the collective *drains structurally* rather than hanging, and the caller
+/// observes the abort through this predicate afterwards.
+template <class RankT>
+[[nodiscard]] bool rankAborted(const RankT& r) {
+  if constexpr (requires { r.aborted(); }) {
+    return r.aborted();
+  } else {
+    return false;
+  }
+}
+
+/// Registers an aborted collective in the metrics registry and on the span.
+template <class RankT>
+void noteAbortIfAny(RankT& r, CollSpan& sp) {
+  if (!rankAborted(r)) return;
+  sp.markAborted();
+  r.system().obs.registry.addCounter("coll.aborted", 1);
+}
 
 [[nodiscard]] inline CollImpl resolve(const CollConfig& cfg, std::uint64_t bytes) {
   if (cfg.impl != CollImpl::Auto) return cfg.impl;
@@ -761,6 +790,7 @@ sim::FutureTask bcast(RankT& r, void* buf, std::uint64_t bytes, int root,
       co_await detail::bcastTree(r, buf, bytes, root, tag, cfg, &sp);
       break;
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Reduce `count` doubles from `sendbuf` into `recvbuf` on `root`.
@@ -775,6 +805,7 @@ sim::FutureTask reduce(RankT& r, const void* sendbuf, void* recvbuf, std::uint64
     // without the scatter has no bandwidth advantage).
     co_await detail::reduceTree(r, sendbuf, recvbuf, count, op, root, tag, cfg, &sp);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Allreduce over doubles.
@@ -796,6 +827,7 @@ sim::FutureTask allreduce(RankT& r, const void* sendbuf, void* recvbuf, std::uin
                                  cfg, &sp);
       break;
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Reduce-scatter (block variant): `sendbuf` holds size()*count_each
@@ -811,6 +843,7 @@ sim::FutureTask reduceScatter(RankT& r, const void* sendbuf, void* recvbuf,
   } else {
     co_await detail::reduceScatterRing(r, sendbuf, recvbuf, count_each, op, tag, cfg, &sp);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Allgather: each rank contributes `bytes` at `sendbuf`; `recvbuf` receives
@@ -824,6 +857,7 @@ sim::FutureTask allgather(RankT& r, const void* sendbuf, void* recvbuf, std::uin
   } else {
     co_await detail::allgatherRing(r, sendbuf, recvbuf, bytes, tag, cfg, &sp);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Alltoall: rank i sends its j-th block to rank j.
@@ -836,6 +870,7 @@ sim::FutureTask alltoall(RankT& r, const void* sendbuf, void* recvbuf, std::uint
   } else {
     co_await detail::alltoallChunked(r, sendbuf, recvbuf, bytes, tag, cfg, &sp);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Gather to root: rank i's `bytes` land at offset i*bytes of root's recvbuf.
@@ -857,6 +892,7 @@ sim::FutureTask gather(RankT& r, const void* sendbuf, void* recvbuf, std::uint64
   } else {
     co_await r.send(sendbuf, bytes, root, tag);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 /// Scatter from root: block i of root's sendbuf lands in rank i's recvbuf.
@@ -877,6 +913,7 @@ sim::FutureTask scatter(RankT& r, const void* sendbuf, void* recvbuf, std::uint6
   } else {
     co_await r.recv(recvbuf, bytes, root, tag);
   }
+  detail::noteAbortIfAny(r, sp);
 }
 
 }  // namespace cux::coll

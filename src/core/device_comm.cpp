@@ -1,5 +1,6 @@
 #include "core/device_comm.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cux::core {
@@ -33,6 +34,8 @@ DeviceComm::DeviceComm(cmi::Converse& cmi)
     r.setGauge("lrts.fallbacks", fallbacks_);
     r.setGauge("lrts.recv_reposts", recv_reposts_);
     r.setGauge("lrts.acks_lost", acks_lost_);
+    r.setGauge("lrts.peer_failed_sends", peer_failed_sends_);
+    r.setGauge("lrts.peer_failed_recvs", peer_failed_recvs_);
     r.setGauge("lrts.sends.charm", sendsByType(DeviceRecvType::Charm));
     r.setGauge("lrts.sends.ampi", sendsByType(DeviceRecvType::Ampi));
     r.setGauge("lrts.sends.charm4py", sendsByType(DeviceRecvType::Charm4py));
@@ -42,13 +45,73 @@ DeviceComm::DeviceComm(cmi::Converse& cmi)
     r.setGauge("lrts.recvs.charm4py", recvsByType(DeviceRecvType::Charm4py));
     r.setGauge("lrts.recvs.raw", recvsByType(DeviceRecvType::Raw));
   });
+  failure_sub_ = cmi_.ucx().onPeerFailure([this](int pe, sim::TimePoint) { onPeerFailed(pe); });
 }
 
-DeviceComm::~DeviceComm() { cmi_.system().obs.removeStatsProvider(stats_provider_); }
+DeviceComm::~DeviceComm() {
+  cmi_.ucx().removePeerFailureSub(failure_sub_);
+  cmi_.system().obs.removeStatsProvider(stats_provider_);
+}
+
+void DeviceComm::onPeerFailed(int dead_pe) {
+  // Unmatched posted receives whose tag names the dead PE as source can
+  // never match again — the payload (if any was in flight) blackholed at the
+  // wire, and a dead sender runs no fallback. Cancel them; the Cancelled
+  // completion routes to failDeadRecv below. Matched receives refuse the
+  // cancel and complete PeerFailed through the rendezvous failure path
+  // instead. Receives posted BY the dead PE are swept too (regardless of tag
+  // type): no live sender will ever target a declared-dead destination again
+  // (issueSend drains such sends locally), so the dead rank's coroutine must
+  // be unblocked here to run to its own abort exit — a parked frame would
+  // outlive the run as a leak.
+  const TagScheme& tags = cmi_.tags();
+  std::vector<std::uint64_t> victims;
+  for (const auto& [tag, rec] : outstanding_recvs_) {
+    const MsgType mt = tags.typeOf(tag);
+    const bool src_known = mt == MsgType::Device || mt == MsgType::ZcopyHost;
+    const bool dead_src = src_known && static_cast<int>(tags.peOf(tag)) == dead_pe;
+    if (dead_src || rec.pe == dead_pe) victims.push_back(tag);
+  }
+  std::sort(victims.begin(), victims.end());  // deterministic cancel order
+  for (const std::uint64_t tag : victims) {
+    const auto it = outstanding_recvs_.find(tag);
+    if (it != outstanding_recvs_.end()) cmi_.ucx().worker(it->second.pe).cancelRecv(it->second.req);
+  }
+}
+
+void DeviceComm::failDeadRecv(int pe_id, const DeviceRdmaOp& op,
+                              const std::function<void()>& cb) {
+  ++peer_failed_recvs_;
+  hw::System& sys = cmi_.system();
+  sys.trace.record(sys.engine.now(), sim::TraceCat::PeFail, pe_id,
+                   static_cast<int>(cmi_.tags().peOf(op.tag)), op.size, op.tag,
+                   "recv-peer-failed");
+  sys.obs.spans.end(sys.obs.spans.spanForTag(op.tag), sys.engine.now(), obs::Phase::Errored,
+                    pe_id);
+  // The model callback still runs: a matched-but-in-flight receive must
+  // drain (the coroutine behind it would otherwise hang forever). The data
+  // never arrived — survivors observe that through the model layer's
+  // revocation/abort surface, not through this completion.
+  if (cb) cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
+}
 
 void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_t size,
                            std::uint64_t tag, std::function<void()> on_complete) {
   hw::System& sys = cmi_.system();
+  if (sys.fault.enabled() && cmi_.ucx().peerKnownDead(sys.engine.now(), dst_pe)) {
+    // The destination is already declared dead: every route blackholes, so
+    // issuing the send would only burn wire time and retry budget. The
+    // buffer is trivially safe to reuse (nothing will ever read it) —
+    // complete the sender; the model layer observes the failure through the
+    // detector's revocation path.
+    ++peer_failed_sends_;
+    sys.trace.record(sys.engine.now(), sim::TraceCat::PeFail, src_pe, dst_pe, size, tag,
+                     "send-dead-dst");
+    sys.obs.spans.end(sys.obs.spans.spanForTag(tag), sys.engine.now(), obs::Phase::Errored,
+                      src_pe);
+    if (on_complete) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), on_complete);
+    return;
+  }
   if (sys.fault.enabled() && sys.fault.linkDown(sys.engine.now(), src_pe, dst_pe)) {
     // The link is down right now: don't burn the retry budget on a path that
     // cannot deliver — degrade to the host-staged route immediately.
@@ -60,6 +123,18 @@ void DeviceComm::issueSend(int src_pe, int dst_pe, const void* ptr, std::uint64_
   cmi_.ucx().tagSend(src_pe, dst_pe, ptr, size, tag,
                      [this, src_pe, dst_pe, ptr, size, tag, cb = std::move(on_complete)](
                          ucx::Request& r) {
+                       if (r.peerFailed() && !r.data_delivered) {
+                         // The detector blamed a dead endpoint: the
+                         // host-staged fallback would blackhole too. Close
+                         // the span and complete the sender so its model
+                         // layer can drain.
+                         ++peer_failed_sends_;
+                         hw::System& sys = cmi_.system();
+                         sys.obs.spans.end(sys.obs.spans.spanForTag(tag), sys.engine.now(),
+                                           obs::Phase::Errored, src_pe);
+                         if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+                         return;
+                       }
                        if (r.failed() && !r.data_delivered) {
                          startFallback(src_pe, dst_pe, ptr, size, tag, cb, "retries-exhausted");
                          return;
@@ -88,6 +163,21 @@ void DeviceComm::startFallback(int src_pe, int dst_pe, const void* ptr, std::uin
   cmi_.ucx().tagSendHostStaged(
       src_pe, dst_pe, ptr, size, tag,
       [this, src_pe, dst_pe, size, tag, cb = std::move(on_complete)](ucx::Request& r) {
+        if (r.peerFailed() && !r.data_delivered) {
+          // The peer died while the fallback was in flight. Unlike the
+          // live-peer terminal failure below, withholding on_complete here
+          // would hang the sender forever — the buffer is safe to reuse
+          // (the dead PE will never read it), so complete and let the model
+          // layer surface the failure through revocation.
+          ++peer_failed_sends_;
+          hw::System& sys = cmi_.system();
+          sys.trace.record(sys.engine.now(), sim::TraceCat::PeFail, src_pe, dst_pe, size, tag,
+                           "fallback-peer-failed");
+          sys.obs.spans.end(sys.obs.spans.spanForTag(tag), sys.engine.now(),
+                            obs::Phase::Errored, src_pe);
+          if (cb) cmi_.pe(src_pe).exec(sim::usec(cmi_.costs().callback_us), cb);
+          return;
+        }
         if (r.failed() && !r.data_delivered) {
           // Even the degraded route died with the data undelivered. Withhold
           // on_complete — reporting a buffer as reusable/arrived when it
@@ -220,8 +310,38 @@ void DeviceComm::postDeviceRecv(int pe_id, const DeviceRdmaOp& op,
   // UCX worker, so posting from the worker PE would race (in ordering terms)
   // with the sends the comm thread serialises.
   cmi_.inject(pe_id, [this, pe_id, op, cb = std::move(on_complete)] {
-    cmi_.ucx().worker(pe_id).tagRecv(
+    hw::System& sys = cmi_.system();
+    // Device/ZcopyHost tags name their source PE; DeviceUser tags repurpose
+    // that field for the user value, so only the former can be screened
+    // against the failure detector (and swept on a later announcement).
+    const MsgType mt = cmi_.tags().typeOf(op.tag);
+    const bool src_known = mt == MsgType::Device || mt == MsgType::ZcopyHost;
+    const bool dead_src =
+        src_known && sys.fault.enabled() &&
+        cmi_.ucx().peerKnownDead(sys.engine.now(), static_cast<int>(cmi_.tags().peOf(op.tag)));
+    const bool dead_self =
+        sys.fault.enabled() && cmi_.ucx().peerKnownDead(sys.engine.now(), pe_id);
+    if (dead_src || dead_self) {
+      // Posting against an already-declared-dead source — or from a PE that
+      // is itself declared dead (live senders drain sends to it locally, so
+      // no payload will ever arrive) — would park the receive forever. Drain
+      // now so the coroutine behind it can reach its abort exit.
+      failDeadRecv(pe_id, op, cb);
+      return;
+    }
+    ucx::RequestPtr req = cmi_.ucx().worker(pe_id).tagRecv(
         op.dst, op.size, op.tag, ucx::kFullMask, [this, pe_id, op, cb](ucx::Request& r) {
+          outstanding_recvs_.erase(op.tag);
+          if (r.cancelled() || r.peerFailed()) {
+            // The source PE is dead. Cancelled: the detector's sweep pulled
+            // this still-unmatched receive (onPeerFailed — the only cancel
+            // source on this path). PeerFailed: a matched rendezvous whose
+            // remaining legs can never finish. Either way no fallback is
+            // coming from a dead sender, so re-posting would hang; drain
+            // instead.
+            failDeadRecv(pe_id, op, cb);
+            return;
+          }
           if (r.failed()) {
             // A matched rendezvous exhausted its retry budget: the buffer was
             // never written, and the sender is degrading to the host-staged
@@ -246,6 +366,15 @@ void DeviceComm::postDeviceRecv(int pe_id, const DeviceRdmaOp& op,
                             obs::Phase::Completed, pe_id);
           if (cb) cmi_.pe(pe_id).exec(sim::usec(cmi_.costs().callback_us), cb);
         });
+    // Track the posted receive so a later failure announcement can sweep it
+    // (see onPeerFailed): by decoded source PE for Device/ZcopyHost tags, by
+    // owning PE for every tag type. Only bother when PE failures are
+    // actually scheduled — the map stays empty otherwise and the hot path is
+    // untouched.
+    if (sys.fault.enabled() && sys.fault.anyPeFailures() && req &&
+        req->state == ucx::ReqState::Pending) {
+      outstanding_recvs_[op.tag] = OutstandingRecv{std::move(req), pe_id};
+    }
   });
 }
 

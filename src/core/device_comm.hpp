@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "converse/converse.hpp"
 #include "core/tag_scheme.hpp"
 #include "obs/registry.hpp"
+#include "ucx/request.hpp"
 
 /// \file device_comm.hpp
 /// The paper's primary contribution: the GPU-aware extension of the UCX
@@ -122,6 +124,15 @@ class DeviceComm {
   /// (rendezvous ATS lost): the fallback is suppressed — resending under the
   /// same tag could never match the already-consumed receive.
   [[nodiscard]] std::uint64_t acksLost() const noexcept { return acks_lost_; }
+  /// Sends completed (buffer-reusable) because the failure detector declared
+  /// the destination PE dead — no data was delivered and no fallback was
+  /// attempted (it would blackhole too).
+  [[nodiscard]] std::uint64_t peerFailedSends() const noexcept { return peer_failed_sends_; }
+  /// Receives drained because their source PE was declared dead: unmatched
+  /// posted receives swept by the detector announcement, plus matched
+  /// rendezvous receives whose remaining legs could never finish. The model
+  /// callback runs (so the operation terminates) but the data never arrived.
+  [[nodiscard]] std::uint64_t peerFailedRecvs() const noexcept { return peer_failed_recvs_; }
 
   /// Matching-engine occupancy of the UCX workers this machine layer posts
   /// into. Device-metadata receives delegate to Worker::tagRecv under a full
@@ -140,17 +151,34 @@ class DeviceComm {
                      std::uint64_t tag, std::function<void()> on_complete, const char* why);
   /// Posts the machine-layer receive; on terminal rendezvous failure the
   /// receive is re-posted (same tag) instead of completing, so the sender's
-  /// host-staged fallback still finds a match.
+  /// host-staged fallback still finds a match — unless the source PE is
+  /// dead, in which case the receive drains through failDeadRecv.
   void postDeviceRecv(int pe, const DeviceRdmaOp& op, std::function<void()> on_complete);
+  /// Failure-detector announcement hook: cancels still-unmatched posted
+  /// receives whose tag names the dead PE as source.
+  void onPeerFailed(int dead_pe);
+  /// Terminates a receive whose source PE is dead: ends the span (Errored),
+  /// traces, and runs the model callback so the operation drains.
+  void failDeadRecv(int pe, const DeviceRdmaOp& op, const std::function<void()>& cb);
 
   cmi::Converse& cmi_;
   std::vector<std::uint64_t> counters_;  // per-PE tag counters
   int stats_provider_ = 0;               ///< obs registry handle (dtor deregisters)
+  int failure_sub_ = 0;                  ///< detector subscription (dtor deregisters)
   obs::Registry::Id send_bytes_hist_ = 0;
   std::uint64_t device_sends_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t recv_reposts_ = 0;
   std::uint64_t acks_lost_ = 0;
+  std::uint64_t peer_failed_sends_ = 0;
+  std::uint64_t peer_failed_recvs_ = 0;
+  /// Posted (still-cancellable) device receives by tag, kept only while PE
+  /// failures are scheduled; onPeerFailed sweeps it by decoded source PE.
+  struct OutstandingRecv {
+    ucx::RequestPtr req;
+    int pe = -1;
+  };
+  std::unordered_map<std::uint64_t, OutstandingRecv> outstanding_recvs_;
   std::uint64_t sends_by_type_[4] = {0, 0, 0, 0};
   std::uint64_t recvs_by_type_[4] = {0, 0, 0, 0};
 };

@@ -38,6 +38,7 @@ struct System {
       r.setGauge("fault.decisions", fault.decisions());
       r.setGauge("fault.drops_injected", fault.dropsInjected());
       r.setGauge("fault.delays_injected", fault.delaysInjected());
+      r.setGauge("fault.blackholed", fault.blackholed());
       r.setGauge("trace.records", trace.records().size());
       r.setGauge("trace.dropped", trace.dropped());
       r.setGauge("obs.spans_begun", obs.spans.begun());

@@ -35,6 +35,8 @@ const char* name(Phase p) {
       return "coll-chunk";
     case Phase::CollReduce:
       return "coll-reduce";
+    case Phase::PeFailed:
+      return "pe-failed";
     case Phase::Completed:
       return "completed";
     case Phase::Errored:

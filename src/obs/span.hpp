@@ -48,6 +48,7 @@ enum class Phase : std::uint8_t {
   RecvRepost,         ///< receive re-posted after a terminal rendezvous failure
   CollChunk,          ///< pipelined collective segment handed to the p2p layer
   CollReduce,         ///< modelled reduction kernel launched on a collective segment
+  PeFailed,           ///< peer PE declared dead by the failure detector
   Completed,          ///< terminal: data delivered to the receiver
   Errored,            ///< terminal: transfer failed permanently
   Cancelled,          ///< terminal: receive cancelled

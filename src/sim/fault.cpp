@@ -16,6 +16,15 @@ void FaultInjector::configure(const FaultConfig& cfg) {
   decisions_ = 0;
   drops_ = 0;
   delays_ = 0;
+  blackholed_ = 0;
+}
+
+bool FaultInjector::peDead(TimePoint t, int pe) const noexcept {
+  if (!cfg_.enabled) return false;
+  for (const PeFailure& f : cfg_.pe_failures) {
+    if (f.pe == pe && t >= f.at) return true;
+  }
+  return false;
 }
 
 bool FaultInjector::linkDown(TimePoint t, int src_pe, int dst_pe) const noexcept {
@@ -33,8 +42,14 @@ FaultInjector::Decision FaultInjector::decide(TimePoint now, MsgClass cls, int s
                                               int dst_pe) {
   if (!cfg_.enabled) return {};
   ++decisions_;
-  // Outage windows are schedule-driven, not probabilistic: they consume no
-  // randomness, so adding a window does not shift the drop/jitter stream.
+  // Fail-stop blackholing and outage windows are schedule-driven, not
+  // probabilistic: they consume no randomness, so adding one does not shift
+  // the drop/jitter stream of the surviving traffic.
+  if (peDead(now, src_pe) || peDead(now, dst_pe)) {
+    ++drops_;
+    ++blackholed_;
+    return {true, 0};
+  }
   if (linkDown(now, src_pe, dst_pe)) {
     ++drops_;
     return {true, 0};

@@ -48,12 +48,23 @@ struct FaultPolicy {
 
 /// A scheduled link outage: every message between the matching endpoints is
 /// dropped while `from <= t < until`. A PE of -1 is a wildcard. Windows are
-/// direction-sensitive; add both directions for a full outage.
+/// direction-sensitive; add both directions for a full outage (or use
+/// FaultConfig::bidirectionalOutage, which does exactly that).
 struct LinkDownWindow {
   TimePoint from = 0;
   TimePoint until = 0;
   int src_pe = -1;
   int dst_pe = -1;
+};
+
+/// A fail-stop PE death: `pe` halts at virtual time `at` and never recovers.
+/// From `at` onward every message to or from it — in-flight retransmissions
+/// included — blackholes. Failures are part of the seeded schedule, not the
+/// random stream: adding one never shifts the drop/jitter decisions of
+/// surviving traffic.
+struct PeFailure {
+  int pe = -1;
+  TimePoint at = 0;
 };
 
 /// Complete injector configuration; travels inside hw::MachineConfig so
@@ -64,9 +75,26 @@ struct FaultConfig {
   std::uint64_t seed = 0x5eedULL;
   std::array<FaultPolicy, kNumMsgClasses> policy{};
   std::vector<LinkDownWindow> down_windows;
+  std::vector<PeFailure> pe_failures;
 
   /// Applies `p` to every message class.
   void setAllClasses(const FaultPolicy& p) { policy.fill(p); }
+
+  /// Adds a full (both-direction) outage between `pe_a` and `pe_b` for
+  /// `from <= t < until`. LinkDownWindow is direction-sensitive and callers
+  /// kept forgetting the reverse window; this helper closes that footgun.
+  void bidirectionalOutage(TimePoint from, TimePoint until, int pe_a, int pe_b) {
+    down_windows.push_back(LinkDownWindow{from, until, pe_a, pe_b});
+    down_windows.push_back(LinkDownWindow{from, until, pe_b, pe_a});
+  }
+
+  /// Schedules a fail-stop death of `pe` at time `at` (and enables the
+  /// injector — a failure schedule with the injector off would silently do
+  /// nothing).
+  void killPe(int pe, TimePoint at) {
+    enabled = true;
+    pe_failures.push_back(PeFailure{pe, at});
+  }
 
   /// Convenience: uniform drop probability across all classes, no jitter.
   [[nodiscard]] static FaultConfig uniformLoss(double drop_prob, std::uint64_t seed);
@@ -96,10 +124,18 @@ class FaultInjector {
   /// True when a configured outage window covers (src_pe -> dst_pe) at `t`.
   [[nodiscard]] bool linkDown(TimePoint t, int src_pe, int dst_pe) const noexcept;
 
+  /// True when `pe` has a scheduled fail-stop failure at or before `t`.
+  [[nodiscard]] bool peDead(TimePoint t, int pe) const noexcept;
+
+  /// True when any PE failure is scheduled (regardless of time); the UCX
+  /// failure detector keys off this so failure-free runs schedule nothing.
+  [[nodiscard]] bool anyPeFailures() const noexcept { return !cfg_.pe_failures.empty(); }
+
   // --- counters (reset by configure()) ------------------------------------
   [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
   [[nodiscard]] std::uint64_t dropsInjected() const noexcept { return drops_; }
   [[nodiscard]] std::uint64_t delaysInjected() const noexcept { return delays_; }
+  [[nodiscard]] std::uint64_t blackholed() const noexcept { return blackholed_; }
 
  private:
   FaultConfig cfg_;
@@ -107,6 +143,7 @@ class FaultInjector {
   std::uint64_t decisions_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t delays_ = 0;
+  std::uint64_t blackholed_ = 0;  ///< drops due to a dead endpoint
 };
 
 }  // namespace cux::sim

@@ -28,6 +28,8 @@ const char* name(TraceCat c) {
       return "fault.retry";
     case TraceCat::Fallback:
       return "fault.fallback";
+    case TraceCat::PeFail:
+      return "fault.pe-fail";
   }
   return "?";
 }

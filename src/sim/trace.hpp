@@ -33,6 +33,7 @@ enum class TraceCat : std::uint8_t {
   Drop,        ///< injector dropped a message / duplicate suppressed
   Retry,       ///< retransmission after timeout
   Fallback,    ///< device send degraded to the host-staged route
+  PeFail,      ///< failure detector declared a PE dead / request peer-failed
 };
 
 [[nodiscard]] const char* name(TraceCat c);

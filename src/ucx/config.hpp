@@ -85,6 +85,16 @@ struct UcxConfig {
   /// retry_base_us * 2^k after it was sent.
   double retry_base_us = 50.0;
 
+  /// Heartbeat failure-detector timeout: a scheduled fail-stop PE death at
+  /// time T is announced to every subscriber (and starts failing requests
+  /// with ReqState::PeerFailed) at T + failure_detect_us. Models the
+  /// heartbeat round-trip + suspicion threshold of a real detector without
+  /// per-heartbeat events — the simulation knows the schedule, so detection
+  /// is one event per failure. Must be shorter than the full retry budget
+  /// (retry_base_us * 2^max_retries) or requests exhaust into plain Error
+  /// before the detector fires.
+  double failure_detect_us = 500.0;
+
   /// Rejects configurations that would hang or misbehave silently (a zero
   /// pipeline chunk spins the chunked rendezvous forever; negative overheads
   /// schedule events into the past; a non-positive backoff base retries in a
@@ -100,6 +110,7 @@ struct UcxConfig {
     if (gdr_latency_us < 0) fail("gdr_latency_us must be non-negative");
     if (gdr_bandwidth_gbps <= 0) fail("gdr_bandwidth_gbps must be positive");
     if (cuda_stage_latency_us < 0) fail("cuda_stage_latency_us must be non-negative");
+    if (failure_detect_us <= 0) fail("failure_detect_us must be positive");
     if (max_retries < 0) fail("max_retries must be non-negative");
     if (max_retries > 62) fail("max_retries overflows the exponential backoff");
     if (retry_base_us <= 0) fail("retry_base_us must be positive");

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hw/system.hpp"
@@ -74,6 +76,51 @@ class Context {
     for (const auto& w : workers_) n += w->duplicatesSuppressed();
     return n;
   }
+
+  // --- failure detector (active only with scheduled PE failures) -----------
+
+  /// Subscribes to failure-detector announcements: `fn(pe, when)` runs once
+  /// per scheduled sim::PeFailure, at failure time + failure_detect_us, from
+  /// an engine event. Subscribe before engine.run(); announcements fired
+  /// before subscription are not replayed. With no scheduled failures the
+  /// detector schedules nothing, keeping trace hashes bit-identical.
+  /// Returns a handle for removePeerFailureSub — subscribers that can die
+  /// before the Context (sections, channel groups) MUST deregister in their
+  /// destructor or a later announcement runs into freed memory.
+  int onPeerFailure(std::function<void(int pe, sim::TimePoint when)> fn) {
+    peer_failure_subs_.emplace_back(next_failure_sub_, std::move(fn));
+    return next_failure_sub_++;
+  }
+
+  void removePeerFailureSub(int handle) {
+    for (auto it = peer_failure_subs_.begin(); it != peer_failure_subs_.end(); ++it) {
+      if (it->first == handle) {
+        peer_failure_subs_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Detector's view: true once `pe`'s scheduled failure has passed the
+  /// detection horizon at time `t` (i.e. t >= failure time +
+  /// failure_detect_us). Between the failure and the horizon the PE is dead
+  /// but not yet *known* dead — traffic blackholes, requests keep retrying.
+  [[nodiscard]] bool peerKnownDead(sim::TimePoint t, int pe) const noexcept {
+    if (!sys_.fault.enabled()) return false;
+    const sim::Duration horizon = sim::usec(cfg_.failure_detect_us);
+    for (const sim::PeFailure& f : sys_.fault.config().pe_failures) {
+      if (f.pe == pe && t >= f.at + horizon) return true;
+    }
+    return false;
+  }
+
+  /// PE failures announced so far (one per scheduled failure once its
+  /// detection horizon passes).
+  [[nodiscard]] std::uint64_t peFailuresDetected() const noexcept {
+    return pe_failures_detected_;
+  }
+  /// Requests completed with ReqState::PeerFailed.
+  [[nodiscard]] std::uint64_t peerFailedRequests() const noexcept { return peer_failed_reqs_; }
 
   // --- allocation-light message path --------------------------------------
 
@@ -198,6 +245,10 @@ class Context {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t send_errors_ = 0;
+  std::uint64_t pe_failures_detected_ = 0;
+  std::uint64_t peer_failed_reqs_ = 0;
+  std::vector<std::pair<int, std::function<void(int, sim::TimePoint)>>> peer_failure_subs_;
+  int next_failure_sub_ = 1;
 
   // --- pools (see docs/architecture.md, "tag-matching engine") -------------
   /// Retention caps bound idle memory by BYTES, not entry count: eager

@@ -19,10 +19,11 @@ namespace cux::ucx {
 using Tag = std::uint64_t;
 inline constexpr Tag kFullMask = ~Tag{0};
 
-/// `Error` is terminal: the reliability layer exhausted its retransmission
-/// budget (or a rendezvous leg failed permanently). It is surfaced through
-/// the completion callback exactly once — an operation never hangs.
-enum class ReqState : std::uint8_t { Pending, Done, Cancelled, Error };
+/// `Error` and `PeerFailed` are terminal: the reliability layer exhausted
+/// its retransmission budget (or a rendezvous leg failed permanently), or
+/// the failure detector declared the peer PE dead. Either is surfaced
+/// through the completion callback exactly once — an operation never hangs.
+enum class ReqState : std::uint8_t { Pending, Done, Cancelled, Error, PeerFailed };
 
 struct Request {
   ReqState state = ReqState::Pending;
@@ -39,7 +40,10 @@ struct Request {
 
   [[nodiscard]] bool done() const noexcept { return state == ReqState::Done; }
   [[nodiscard]] bool cancelled() const noexcept { return state == ReqState::Cancelled; }
-  [[nodiscard]] bool failed() const noexcept { return state == ReqState::Error; }
+  [[nodiscard]] bool failed() const noexcept {
+    return state == ReqState::Error || state == ReqState::PeerFailed;
+  }
+  [[nodiscard]] bool peerFailed() const noexcept { return state == ReqState::PeerFailed; }
 
   // --- matcher back-pointer (internal to ucx::Worker) ----------------------
   /// While the request is a posted receive, the slot id of its entry in the

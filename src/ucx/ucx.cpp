@@ -33,6 +33,8 @@ Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
     r.setGauge("ucx.bytes_sent", bytes_sent_);
     r.setGauge("ucx.retransmits", retransmits_);
     r.setGauge("ucx.send_errors", send_errors_);
+    r.setGauge("ucx.pe_failures_detected", pe_failures_detected_);
+    r.setGauge("ucx.peer_failed_reqs", peer_failed_reqs_);
     r.setGauge("ucx.duplicates_suppressed", duplicatesSuppressed());
     r.setGauge("ucx.req_pool.hits", req_pool_.hits());
     r.setGauge("ucx.req_pool.misses", req_pool_.misses());
@@ -48,6 +50,24 @@ Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
     r.setGauge("ucx.match.unexpected_max_chain", s.unexpected_max_chain);
     r.setGauge("ucx.match.scan_steps", s.scan_steps);
   });
+  // Failure detector: one announcement event per scheduled fail-stop PE
+  // death, at failure time + failure_detect_us (modelling the heartbeat
+  // round-trip + suspicion threshold without per-heartbeat traffic). With no
+  // scheduled failures nothing is scheduled — the engine timeline, and hence
+  // the trace hashes, stay bit-identical to a failure-free build.
+  if (sys_.fault.enabled() && sys_.fault.anyPeFailures()) {
+    for (const sim::PeFailure& f : sys_.fault.config().pe_failures) {
+      const sim::TimePoint when = f.at + sim::usec(cfg_.failure_detect_us);
+      sys_.engine.schedule(when, [this, pe = f.pe, when] {
+        ++pe_failures_detected_;
+        sys_.trace.record(when, sim::TraceCat::PeFail, pe, pe, 0, 0, "detected");
+        // Copy: a subscriber's callback may register further subscribers
+        // (e.g. a shrink() building a replacement section mid-announcement).
+        auto subs = peer_failure_subs_;
+        for (const auto& [id, fn] : subs) fn(pe, when);
+      });
+    }
+  }
 }
 
 Context::~Context() { sys_.obs.removeStatsProvider(stats_provider_); }
@@ -95,6 +115,15 @@ void Context::reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt
         worker(ws->dst_pe).noteDuplicateSuppressed(ws->src_pe, ws->proto.len, ws->proto.tag);
         return;
       }
+      // Fail-stop: a copy in flight when the destination died blackholes at
+      // arrival (the injector only faults at transmit time, so an in-flight
+      // message to a PE that dies mid-flight must be dropped here). The
+      // sender stays Pending and the retry machinery surfaces PeerFailed.
+      if (sys_.fault.peDead(sys_.engine.now(), ws->dst_pe)) {
+        sys_.trace.record(sys_.engine.now(), sim::TraceCat::Drop, ws->src_pe, ws->dst_pe,
+                          ws->proto.len, ws->proto.tag, "pe-dead");
+        return;
+      }
       ws->delivered = true;
       // Sender completion models the transport-level ack: Done at first
       // delivery (rendezvous RTS senders instead complete via ATS).
@@ -112,6 +141,24 @@ void Context::reliableTransmit(const std::shared_ptr<WireState>& ws, int attempt
   // was sent. Exhaustion surfaces ReqState::Error — an operation never hangs.
   engine.schedule(now + retryDelay(attempt), [this, ws, attempt] {
     if (ws->delivered) return;
+    // Once the failure detector has declared either endpoint dead, stop
+    // retrying and surface the dedicated terminal state. This bounds the
+    // failure latency of a pending request by the detection horizon plus one
+    // backoff interval — strictly before plain exhaustion with the default
+    // knobs (500 us detect vs ~3.1 ms cumulative backoff).
+    const sim::TimePoint t = sys_.engine.now();
+    if (peerKnownDead(t, ws->dst_pe) || peerKnownDead(t, ws->src_pe)) {
+      ++peer_failed_reqs_;
+      sys_.trace.record(t, sim::TraceCat::PeFail, ws->src_pe, ws->dst_pe, ws->proto.len,
+                        ws->proto.tag, "peer-failed");
+      sys_.obs.spans.phase(sys_.obs.spans.spanForTag(ws->proto.tag), t, obs::Phase::PeFailed,
+                           ws->src_pe);
+      if (ws->req && ws->req->state == ReqState::Pending) {
+        ws->req->state = ReqState::PeerFailed;
+        if (ws->cb) ws->cb(*ws->req);
+      }
+      return;
+    }
     if (attempt >= cfg_.max_retries) {
       ++send_errors_;
       sys_.trace.record(sys_.engine.now(), sim::TraceCat::Drop, ws->src_pe, ws->dst_pe,
@@ -136,6 +183,12 @@ std::pair<sim::TimePoint, bool> Context::faultedCtrl(int src_pe, int dst_pe,
                                                      sim::TimePoint send_t, sim::Duration flight,
                                                      Tag tag, const char* what) {
   for (int attempt = 0;; ++attempt) {
+    // A control leg to or from a known-dead PE can never succeed: fail it at
+    // the decision point instead of burning the whole retry budget.
+    if (peerKnownDead(send_t, src_pe) || peerKnownDead(send_t, dst_pe)) {
+      sys_.trace.record(send_t, sim::TraceCat::PeFail, src_pe, dst_pe, 0, tag, what);
+      return {send_t + flight, false};
+    }
     const auto dec = sys_.fault.decide(send_t, sim::MsgClass::RndvCtrl, src_pe, dst_pe);
     if (!dec.drop) return {send_t + flight + dec.delay, true};
     sys_.trace.record(send_t, sim::TraceCat::Drop, src_pe, dst_pe, 0, tag, what);
@@ -524,6 +577,13 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
     // reservations (the retransmission occupies real wire time).
     sim::TimePoint start = t_match;
     for (int attempt = 0;; ++attempt) {
+      if (peerKnownDead(start, src_pe) || peerKnownDead(start, dst_pe)) {
+        sys_.trace.record(start, sim::TraceCat::PeFail, src_pe, dst_pe, len, msg.tag,
+                          "rndv-data");
+        failed = true;
+        data_arrival = start;
+        break;
+      }
       const auto dec = sys_.fault.decide(start, sim::MsgClass::RndvData, src_pe, dst_pe);
       if (!dec.drop) {
         bool cts_ok = true;
@@ -549,15 +609,24 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
   CompletionFn send_cb = msg.send_cb;
 
   if (failed) {
-    // The CTS or data leg exhausted its budget: the transfer fails
-    // permanently. Sender completes with Error here; the caller fails the
-    // receive side (RndvResult::ok == false).
-    ++send_errors_;
+    // The CTS or data leg exhausted its budget (or a peer is known dead):
+    // the transfer fails permanently. Sender completes here — PeerFailed
+    // when the detector blames a dead endpoint, Error otherwise; the caller
+    // fails the receive side (RndvResult::ok == false).
+    const bool peer_dead =
+        peerKnownDead(data_arrival, src_pe) || peerKnownDead(data_arrival, dst_pe);
+    if (peer_dead) {
+      ++peer_failed_reqs_;
+      sys_.obs.spans.phase(sys_.obs.spans.spanForTag(msg.tag), data_arrival,
+                           obs::Phase::PeFailed, src_pe);
+    } else {
+      ++send_errors_;
+    }
     sys_.trace.record(data_arrival, sim::TraceCat::Drop, src_pe, dst_pe, len, msg.tag,
                       "rndv-failed");
-    engine.schedule(data_arrival, [send_req, send_cb] {
+    engine.schedule(data_arrival, [send_req, send_cb, peer_dead] {
       if (send_req && send_req->state == ReqState::Pending) {
-        send_req->state = ReqState::Error;
+        send_req->state = peer_dead ? ReqState::PeerFailed : ReqState::Error;
         if (send_cb) send_cb(*send_req);
       }
     });
@@ -583,7 +652,13 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
     const auto [t, ok] = faultedCtrl(dst_pe, src_pe, data_arrival, flight, msg.tag, "ats");
     ats_arrival = t + sim::usec(cfg_.rndv_handshake_us);
     ats_ok = ok;
-    if (!ats_ok) ++send_errors_;
+    if (!ats_ok) {
+      if (peerKnownDead(ats_arrival, src_pe) || peerKnownDead(ats_arrival, dst_pe)) {
+        ++peer_failed_reqs_;
+      } else {
+        ++send_errors_;
+      }
+    }
   } else {
     ats_arrival = hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), data_arrival,
                                             cfg_.header_bytes) +
@@ -591,14 +666,18 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
   }
   sys_.obs.spans.phase(sys_.obs.spans.spanForTag(msg.tag), ats_arrival, obs::Phase::RndvAts,
                        src_pe, ats_ok ? 1 : 0);
-  engine.schedule(ats_arrival, [send_req, send_cb, ats_ok] {
+  const bool ats_peer_dead =
+      !ats_ok && (peerKnownDead(ats_arrival, src_pe) || peerKnownDead(ats_arrival, dst_pe));
+  engine.schedule(ats_arrival, [send_req, send_cb, ats_ok, ats_peer_dead] {
     if (send_req && send_req->state == ReqState::Pending) {
       // The data leg finished before the ATS was even attempted, so the
-      // receiver has the payload either way; an Error here means only the
-      // ack was lost. Callers must not resend: the matched receive is
-      // consumed, and a resend under the same tag could never match.
+      // receiver has the payload either way; an Error (or PeerFailed, when
+      // the detector blames a dead endpoint) here means only the ack was
+      // lost. Callers must not resend: the matched receive is consumed, and
+      // a resend under the same tag could never match.
       send_req->data_delivered = true;
-      send_req->state = ats_ok ? ReqState::Done : ReqState::Error;
+      send_req->state =
+          ats_ok ? ReqState::Done : (ats_peer_dead ? ReqState::PeerFailed : ReqState::Error);
       if (send_cb) send_cb(*send_req);
     }
   });
@@ -894,17 +973,19 @@ void Worker::startRndvTransfer(PostedRecv r, Incoming msg) {
   req->peer_pe = msg.src_pe;
 
   if (!res.ok) {
-    // A rendezvous leg exhausted its retransmission budget: fail the receive
-    // terminally (the sender's Error is already scheduled) instead of
-    // leaving the request pending forever.
+    // A rendezvous leg exhausted its retransmission budget (or a peer died):
+    // fail the receive terminally (the sender's failure is already
+    // scheduled) instead of leaving the request pending forever.
+    const bool peer_dead = ctx.peerKnownDead(res.data_arrival, msg.src_pe) ||
+                           ctx.peerKnownDead(res.data_arrival, pe_);
     CompletionFn fail_cb = std::move(r.cb);
     const int pe = pe_;
     const Tag tag = msg.tag;
     const int src_pe = msg.src_pe;
     const std::uint64_t len = msg.len;
     engine.schedule(res.data_arrival, [&sys = ctx.system(), req, cb = std::move(fail_cb), pe,
-                                       tag, src_pe, len] {
-      req->state = ReqState::Error;
+                                       tag, src_pe, len, peer_dead] {
+      req->state = peer_dead ? ReqState::PeerFailed : ReqState::Error;
       sys.trace.record(sys.engine.now(), sim::TraceCat::UcxRecv, pe, src_pe, len, tag,
                        "rndv-failed");
       if (cb) cb(*req);

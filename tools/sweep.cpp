@@ -71,8 +71,15 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train|failstop\n"
       "                                      what to measure\n"
+      "                                      (failstop: fail-stop recovery smoke —\n"
+      "                                      trains each stack failure-free, then with\n"
+      "                                      a PE killed mid-run; checks the detector-\n"
+      "                                      driven abort, checkpoint/restart, and\n"
+      "                                      bit-identical final model state; exits\n"
+      "                                      nonzero on hang or mismatch; uses\n"
+      "                                      --ranks, --steps, --impl)\n"
       "                                      (coll: pipelined allreduce per stack —\n"
       "                                      steady-state us/iteration per size and\n"
       "                                      algorithm; uses --ranks, --impl, --sizes,\n"
@@ -283,7 +290,10 @@ int runJacobi(const Args& a) {
 
 /// Latency-vs-drop-rate sweep: the reliability layer's retransmission tax.
 /// A fixed seed per rate keeps every row reproducible; a hung run would
-/// report 0 latency, so completion itself is part of the measurement.
+/// report 0 latency, so completion itself is part of the measurement. Each
+/// row also reports the recovery machinery's registry counters — how many
+/// retransmissions, degraded-route fallbacks, and receive re-posts the
+/// reliability layer spent to deliver that latency.
 int runLoss(const Args& a) {
   osu::BenchConfig cfg;
   cfg.stack = a.stack;
@@ -295,20 +305,49 @@ int runLoss(const Args& a) {
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
   const std::vector<std::size_t> sizes =
       a.sizes.empty() ? std::vector<std::size_t>{4096, 65536, 1048576} : a.sizes;
-  if (!a.json) std::printf("drop_percent,size_bytes,one_way_latency_us\n");
+  if (!a.json) {
+    std::printf(
+        "drop_percent,size_bytes,one_way_latency_us,retransmits,send_errors,fallbacks,"
+        "recv_reposts\n");
+  }
   if (a.json) std::printf("{\"metric\":\"loss\",\"points\":[");
   bool first = true;
+  struct Recovery {
+    std::uint64_t retransmits = 0;
+    std::uint64_t send_errors = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t recv_reposts = 0;
+  };
   for (const double rate : a.drops) {
     cfg.model.machine.fault = rate > 0.0 ? sim::FaultConfig::uniformLoss(rate, a.fault_seed)
                                          : sim::FaultConfig{};
     for (const std::size_t bytes : sizes) {
+      Recovery rc;
+      cfg.inspect = [&rc](hw::System& sys) {
+        sys.obs.refresh();
+        const obs::Registry& r = sys.obs.registry;
+        rc.retransmits = r.gaugeValue("ucx.retransmits");
+        rc.send_errors = r.gaugeValue("ucx.send_errors");
+        rc.fallbacks = r.gaugeValue("lrts.fallbacks");
+        rc.recv_reposts = r.gaugeValue("lrts.recv_reposts");
+      };
       const double lat = osu::latencyPoint(cfg, bytes);
       if (a.json) {
-        std::printf("%s{\"drop_percent\":%.1f,\"size_bytes\":%zu,\"one_way_latency_us\":%.3f}",
-                    first ? "" : ",", rate * 100.0, bytes, lat);
+        std::printf("%s{\"drop_percent\":%.1f,\"size_bytes\":%zu,\"one_way_latency_us\":%.3f,"
+                    "\"retransmits\":%llu,\"send_errors\":%llu,\"fallbacks\":%llu,"
+                    "\"recv_reposts\":%llu}",
+                    first ? "" : ",", rate * 100.0, bytes, lat,
+                    static_cast<unsigned long long>(rc.retransmits),
+                    static_cast<unsigned long long>(rc.send_errors),
+                    static_cast<unsigned long long>(rc.fallbacks),
+                    static_cast<unsigned long long>(rc.recv_reposts));
         first = false;
       } else {
-        std::printf("%.1f,%zu,%.3f\n", rate * 100.0, bytes, lat);
+        std::printf("%.1f,%zu,%.3f,%llu,%llu,%llu,%llu\n", rate * 100.0, bytes, lat,
+                    static_cast<unsigned long long>(rc.retransmits),
+                    static_cast<unsigned long long>(rc.send_errors),
+                    static_cast<unsigned long long>(rc.fallbacks),
+                    static_cast<unsigned long long>(rc.recv_reposts));
       }
     }
   }
@@ -839,6 +878,78 @@ int runTrainMetric(const Args& a) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// --metric failstop: fail-stop recovery smoke (checkpoint/restart identity)
+// --------------------------------------------------------------------------
+
+/// Runs the training workload per stack twice: failure-free, then with a
+/// fail-stop PE death injected mid-run — detector-bounded abort, drained
+/// collectives, PUP checkpoint/restart on a fresh machine. Exits nonzero
+/// when any stack hangs a rank, fails to recover, or recovers to a model
+/// state that is not bit-identical to the unfailed run's. CI's failure-sweep
+/// smoke step runs exactly this.
+int runFailstop(const Args& a) {
+  if (a.stack_set && a.stack == osu::Stack::Ompi) {
+    std::fprintf(stderr, "failstop: stacks are ampi, charm, charm4py\n");
+    return 2;
+  }
+  const std::vector<train::Stack> stacks =
+      a.stack_set ? std::vector<train::Stack>{a.stack == osu::Stack::Ampi ? train::Stack::Ampi
+                                              : a.stack == osu::Stack::Charm
+                                                  ? train::Stack::Charm
+                                                  : train::Stack::Charm4py}
+                  : std::vector<train::Stack>{train::Stack::Ampi, train::Stack::Charm,
+                                              train::Stack::Charm4py};
+  train::TrainConfig cfg;
+  cfg.ranks = a.ranks;
+  cfg.steps = a.steps;
+  cfg.nodes = std::max(a.nodes, (a.ranks + 5) / 6);
+  if (a.impl_set) cfg.coll.impl = a.impl;
+  cfg.host_staged = a.mode == osu::Mode::HostStaging;
+
+  if (a.json) std::printf("{\"metric\":\"failstop\",\"points\":[");
+  if (!a.json) {
+    std::printf(
+        "stack,kill_at_us,restarts,completed_steps,hung_ranks,digest_match,verified,status\n");
+  }
+  bool first = true;
+  bool ok_all = true;
+  for (const train::Stack stack : stacks) {
+    const train::TrainResult base = train::runTrain(cfg, stack);
+    // Kill a non-root worker at 40% of the unfailed run's virtual wall time:
+    // safely mid-run, so collectives are still outstanding and the abort +
+    // restart path genuinely executes.
+    train::TrainConfig fcfg = cfg;
+    fcfg.fault.kill_pe = 1;
+    fcfg.fault.kill_at_us = base.total_us * 0.4;
+    const train::TrainResult rec = train::runTrain(fcfg, stack);
+    const bool digest_match = rec.model_digest == base.model_digest;
+    const bool ok = !base.failed && base.hung_ranks == 0 && base.verified && !rec.failed &&
+                    rec.hung_ranks == 0 && rec.verified && rec.recovered && rec.restarts >= 1 &&
+                    rec.completed_steps == cfg.steps && digest_match;
+    ok_all = ok_all && ok;
+    if (a.json) {
+      std::printf("%s{\"stack\":\"%s\",\"kill_at_us\":%.1f,\"restarts\":%d,"
+                  "\"completed_steps\":%d,\"hung_ranks\":%d,\"digest_match\":%s,"
+                  "\"verified\":%s,\"status\":\"%s\"}",
+                  first ? "" : ",", trainKey(stack), fcfg.fault.kill_at_us, rec.restarts,
+                  rec.completed_steps, rec.hung_ranks, digest_match ? "true" : "false",
+                  rec.verified ? "true" : "false", ok ? "ok" : "FAIL");
+      first = false;
+    } else {
+      std::printf("%s,%.1f,%d,%d,%d,%s,%s,%s\n", trainKey(stack), fcfg.fault.kill_at_us,
+                  rec.restarts, rec.completed_steps, rec.hung_ranks,
+                  digest_match ? "yes" : "NO", rec.verified ? "yes" : "NO", ok ? "ok" : "FAIL");
+    }
+  }
+  if (a.json) std::printf("]}\n");
+  if (!ok_all) {
+    std::fprintf(stderr, "failstop: fail-stop recovery FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -851,5 +962,6 @@ int main(int argc, char** argv) {
   if (a.metric == "shard") return runShard(a);
   if (a.metric == "coll") return runColl(a);
   if (a.metric == "train") return runTrainMetric(a);
+  if (a.metric == "failstop") return runFailstop(a);
   usage(argv[0]);
 }
