@@ -31,6 +31,7 @@ DeviceComm::DeviceComm(cmi::Converse& cmi)
   send_bytes_hist_ = obs.registry.histogram("lrts.send_bytes");
   stats_provider_ = obs.addStatsProvider([this](obs::Registry& r) {
     r.setGauge("lrts.device_sends", device_sends_);
+    r.setGauge("lrts.multipath_eligible", multipath_eligible_);
     r.setGauge("lrts.fallbacks", fallbacks_);
     r.setGauge("lrts.recv_reposts", recv_reposts_);
     r.setGauge("lrts.acks_lost", acks_lost_);
@@ -208,6 +209,11 @@ void DeviceComm::lrtsSendDevice(int src_pe, int dst_pe, CmiDeviceBuffer& buf,
   counter = (counter + 1) % tags.cntModulus();
   ++device_sends_;
   ++sends_by_type_[static_cast<std::size_t>(recv_type)];
+  // Large device sends ride the multi-path scheduler's split protocol on
+  // their rendezvous data leg when it is enabled; count them so the sweep
+  // can correlate lrts traffic with ucx.mp.* scheduler activity.
+  const ucx::UcxConfig::MultipathConfig& mp = cmi_.ucx().config().multipath;
+  if (mp.enabled && is_device && buf.size >= mp.min_split_bytes) ++multipath_eligible_;
   cmi_.system().obs.registry.observe(send_bytes_hist_, buf.size);
 
   // Span begins here: the machine layer mints the tag, so this is the first
@@ -250,8 +256,14 @@ void DeviceComm::lrtsSendDeviceUserTag(int src_pe, int dst_pe, CmiDeviceBuffer& 
   // The whole PE+CNT field carries the user tag; uniqueness is the caller's
   // contract (as it would be with MPI tags).
   buf.tag = tags.make(MsgType::DeviceUser, user_tag >> tags.cnt_bits, user_tag);
+  const bool is_device = cmi_.system().memory.isDevice(buf.ptr);
   ++device_sends_;
   ++sends_by_type_[static_cast<std::size_t>(recv_type)];
+  // Large device sends ride the multi-path scheduler's split protocol on
+  // their rendezvous data leg when it is enabled; count them so the sweep
+  // can correlate lrts traffic with ucx.mp.* scheduler activity.
+  const ucx::UcxConfig::MultipathConfig& mp = cmi_.ucx().config().multipath;
+  if (mp.enabled && is_device && buf.size >= mp.min_split_bytes) ++multipath_eligible_;
   cmi_.system().obs.registry.observe(send_bytes_hist_, buf.size);
   obs::SpanCollector& spans = cmi_.system().obs.spans;
   if (spans.enabled()) {

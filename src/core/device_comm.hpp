@@ -114,6 +114,9 @@ class DeviceComm {
     return recvs_by_type_[static_cast<std::size_t>(t)];
   }
   [[nodiscard]] std::uint64_t deviceSends() const noexcept { return device_sends_; }
+  /// Device sends large enough to split across routes under the active
+  /// UcxConfig::multipath policy (0 when multipath is disabled).
+  [[nodiscard]] std::uint64_t multipathEligible() const noexcept { return multipath_eligible_; }
   /// Device sends that degraded to the host-staged route (retries exhausted
   /// or link down); 0 unless the fault injector is enabled.
   [[nodiscard]] std::uint64_t fallbacks() const noexcept { return fallbacks_; }
@@ -167,6 +170,7 @@ class DeviceComm {
   int failure_sub_ = 0;                  ///< detector subscription (dtor deregisters)
   obs::Registry::Id send_bytes_hist_ = 0;
   std::uint64_t device_sends_ = 0;
+  std::uint64_t multipath_eligible_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t recv_reposts_ = 0;
   std::uint64_t acks_lost_ = 0;

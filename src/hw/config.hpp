@@ -31,6 +31,18 @@ struct MachineConfig {
   LinkParams ib{0.9, 12.5};      ///< NIC <-> fabric (EDR InfiniBand)
   LinkParams shm{0.25, 5.5};     ///< host shared-memory/CMA copy between processes
 
+  /// Independent NVLink bricks per GPU direction. Each brick is its own
+  /// Link with `nvlink` parameters, so a GPU with 2 bricks can drive two
+  /// concurrent routes (direct peer + neighbor-staged) at aggregate
+  /// bandwidth. Default 1 keeps the link layout, link names, and therefore
+  /// every trace hash bit-identical to the single-route model.
+  int nvlink_bricks = 1;
+
+  /// NIC rails per node (multi-rail InfiniBand). Each rail is an
+  /// independent up/down Link pair with `ib` parameters. Default 1 keeps
+  /// the layout and traces bit-identical to the single-rail model.
+  int nic_rails = 1;
+
   /// Device-global memory bandwidth; drives the stencil-kernel cost model
   /// (V100 HBM2 peaks at ~900 GB/s; 800 is a realistic sustained figure).
   double gpu_mem_bandwidth_gbps = 800.0;
@@ -46,6 +58,10 @@ struct MachineConfig {
   double cuda_sync_us = 3.0;
   /// Fixed device-side latency of launching a kernel.
   double kernel_launch_us = 4.5;
+  /// One-time cost of launching an instantiated CUDA graph: every node in
+  /// the graph is submitted by this single call instead of paying
+  /// cuda_call_us + kernel_launch_us each (cudaGraphLaunch amortisation).
+  double cuda_graph_launch_us = 2.5;
 
   /// Number of OS-thread shards for SMP-mode simulation (1 = the classic
   /// single-threaded engine). PEs map to shards in contiguous blocks

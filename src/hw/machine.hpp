@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -66,13 +67,16 @@ struct GpuId {
 
 /// An ordered sequence of links data crosses, store-and-forward.
 ///
-/// Fixed inline capacity: the deepest route the topology produces is
-/// GPU egress + NIC up + NIC down + GPU ingress (4 links), so building a
-/// path on the per-message hot path never touches the heap. The capacity
-/// leaves headroom for composed egress/host/ingress segments.
+/// Fixed inline capacity: the deepest route the topology produces is a
+/// neighbor-staged intra-node hop (GPU egress + X-Bus + neighbor ingress +
+/// neighbor egress + X-Bus + GPU ingress, 6 links), so building a path on
+/// the per-message hot path never touches the heap. The capacity leaves
+/// headroom for composed egress/host/ingress segments. Overflowing the
+/// capacity throws in every build mode: a silently dropped or overwritten
+/// hop would corrupt timing, not crash.
 class Path {
  public:
-  static constexpr std::size_t kMaxLinks = 6;
+  static constexpr std::size_t kMaxLinks = 8;
 
   Path() = default;
   Path(std::initializer_list<Link*> ls) {
@@ -80,7 +84,7 @@ class Path {
   }
 
   void push_back(Link* l) {
-    assert(n_ < kMaxLinks && "Path inline capacity exceeded");
+    if (n_ >= kMaxLinks) throw std::length_error("hw::Path: inline capacity exceeded");
     links_[n_++] = l;
   }
   /// Concatenates `other`'s links after this path's.
@@ -136,16 +140,18 @@ class Machine {
 
   // --- link accessors ----------------------------------------------------
   /// GPU -> socket hub direction of a GPU's NVLink brick (device-to-host and
-  /// peer-to-peer egress share this resource).
-  [[nodiscard]] Link& gpuUp(GpuId g) { return links_[gpuUpIdx(g)]; }
+  /// peer-to-peer egress share this resource). `brick` selects one of
+  /// `MachineConfig::nvlink_bricks` independent bricks; brick 0 is the one
+  /// every single-route protocol uses.
+  [[nodiscard]] Link& gpuUp(GpuId g, int brick = 0) { return links_[gpuUpIdx(g, brick)]; }
   /// Socket hub -> GPU direction (host-to-device and peer ingress).
-  [[nodiscard]] Link& gpuDown(GpuId g) { return links_[gpuDownIdx(g)]; }
+  [[nodiscard]] Link& gpuDown(GpuId g, int brick = 0) { return links_[gpuDownIdx(g, brick)]; }
   /// X-Bus direction from socket `from_socket` on `node`.
   [[nodiscard]] Link& xbus(int node, int from_socket) { return links_[xbusIdx(node, from_socket)]; }
-  /// NIC injection (node -> fabric).
-  [[nodiscard]] Link& nicUp(int node) { return links_[nicUpIdx(node)]; }
-  /// NIC ejection (fabric -> node).
-  [[nodiscard]] Link& nicDown(int node) { return links_[nicDownIdx(node)]; }
+  /// NIC injection (node -> fabric) on `rail` (of MachineConfig::nic_rails).
+  [[nodiscard]] Link& nicUp(int node, int rail = 0) { return links_[nicUpIdx(node, rail)]; }
+  /// NIC ejection (fabric -> node) on `rail`.
+  [[nodiscard]] Link& nicDown(int node, int rail = 0) { return links_[nicDownIdx(node, rail)]; }
   /// Per-node host shared-memory copy engine (CMA / user-space shm).
   [[nodiscard]] Link& shm(int node) { return links_[shmIdx(node)]; }
   /// Per-GPU compute engine: kernels from any stream of the device
@@ -163,6 +169,29 @@ class Machine {
   /// Host-memory-to-host-memory path between two PEs (shared memory within a
   /// node, NIC-to-NIC across nodes).
   [[nodiscard]] Path hostToHostPath(int src_pe, int dst_pe);
+
+  /// One candidate route of a multi-path device-to-device transfer.
+  struct Route {
+    Path path;
+    /// Static label: "direct" (NVLink peer), "staged" (through a neighbor
+    /// GPU's brick), "host" (shm bounce), or "rail" (inter-node NIC rail).
+    const char* kind = "direct";
+    int rail = -1;  ///< NIC rail index, inter-node routes only
+  };
+
+  /// Enumerates the candidate routes for a device-to-device transfer, in a
+  /// deterministic order that PathScheduler's tie-break relies on.
+  ///
+  /// Intra-node: the direct NVLink-peer route on brick 0 first, then up to
+  /// `max_staged` routes staged through a neighbor GPU's brick (neighbors on
+  /// the source's socket first, ascending local index; staged route k uses
+  /// brick min(k+1, bricks-1) end to end so it does not serialise with the
+  /// direct route when bricks >= 2), then — when `host_bounce` — the
+  /// device->host->device shm bounce on the highest brick. Inter-node: one
+  /// GPUDirect-style route per NIC rail, rails ascending, striped across
+  /// bricks. Same-GPU transfers have no route (empty result).
+  [[nodiscard]] std::vector<Route> deviceRoutes(int src_pe, int dst_pe, int max_staged,
+                                                bool host_bounce);
 
   /// Device-to-host-staging path on the sender side (GPU egress only), and
   /// its mirror on the receiver; used for pipelined rendezvous staging.
@@ -203,11 +232,13 @@ class Machine {
   void resetOccupancy();
 
  private:
-  [[nodiscard]] std::size_t gpuUpIdx(GpuId g) const noexcept;
-  [[nodiscard]] std::size_t gpuDownIdx(GpuId g) const noexcept;
+  /// Links per node under the brick/rail-aware layout (see machine.cpp).
+  [[nodiscard]] std::size_t perNodeLinks() const noexcept;
+  [[nodiscard]] std::size_t gpuUpIdx(GpuId g, int brick) const noexcept;
+  [[nodiscard]] std::size_t gpuDownIdx(GpuId g, int brick) const noexcept;
   [[nodiscard]] std::size_t xbusIdx(int node, int from_socket) const noexcept;
-  [[nodiscard]] std::size_t nicUpIdx(int node) const noexcept;
-  [[nodiscard]] std::size_t nicDownIdx(int node) const noexcept;
+  [[nodiscard]] std::size_t nicUpIdx(int node, int rail) const noexcept;
+  [[nodiscard]] std::size_t nicDownIdx(int node, int rail) const noexcept;
   [[nodiscard]] std::size_t shmIdx(int node) const noexcept;
 
   MachineConfig cfg_;

@@ -1,0 +1,58 @@
+#include "hw/path_sched.hpp"
+
+#include <algorithm>
+
+namespace cux::hw {
+
+PathScheduler::PathScheduler(std::vector<Machine::Route> routes) : routes_(std::move(routes)) {
+  bottleneck_.reserve(routes_.size());
+  bytes_per_route_.assign(routes_.size(), 0);
+  for (const Machine::Route& r : routes_) {
+    std::size_t slow = 0;
+    for (std::size_t k = 1; k < r.path.size(); ++k) {
+      if (r.path[k]->params().bandwidth_gbps < r.path[slow]->params().bandwidth_gbps) slow = k;
+    }
+    bottleneck_.push_back(slow);
+  }
+}
+
+sim::TimePoint PathScheduler::project(std::size_t i, sim::TimePoint submit,
+                                      std::uint64_t bytes) const {
+  sim::TimePoint t = submit;
+  for (const Link* l : routes_[i].path) {
+    const sim::TimePoint start = std::max(t, l->freeAt());
+    t = start + sim::usec(l->params().latency_us) +
+        sim::transferTime(bytes, l->params().bandwidth_gbps);
+  }
+  return t;
+}
+
+std::size_t PathScheduler::best(sim::TimePoint submit, std::uint64_t bytes,
+                                std::size_t exclude) const {
+  std::size_t pick = npos;
+  sim::TimePoint pick_done = 0;
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (i == exclude && routes_.size() > 1) continue;
+    const sim::TimePoint done = project(i, submit, bytes);
+    if (pick == npos || done < pick_done) {
+      pick = i;
+      pick_done = done;
+    }
+  }
+  return pick;
+}
+
+sim::TimePoint PathScheduler::commit(std::size_t i, sim::TimePoint submit, std::uint64_t bytes,
+                                     sim::Duration chunk_overhead) {
+  sim::TimePoint t = submit;
+  const Machine::Route& r = routes_[i];
+  for (std::size_t k = 0; k < r.path.size(); ++k) {
+    Link& l = *r.path[k];
+    t = l.reserve(t, bytes);
+    if (k == bottleneck_[i] && chunk_overhead > 0) l.setFreeAt(l.freeAt() + chunk_overhead);
+  }
+  bytes_per_route_[i] += bytes;
+  return t;
+}
+
+}  // namespace cux::hw

@@ -37,6 +37,10 @@ const char* name(Phase p) {
       return "coll-reduce";
     case Phase::PeFailed:
       return "pe-failed";
+    case Phase::MultiPath:
+      return "multi-path";
+    case Phase::RailChunk:
+      return "rail-chunk";
     case Phase::Completed:
       return "completed";
     case Phase::Errored:

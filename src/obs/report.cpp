@@ -35,6 +35,13 @@ void Breakdown::accumulate(const SpanCollector& sc) {
     if (e.time < pt.at[idx]) pt.at[idx] = e.time;
     if (e.phase == Phase::Retry) ++retry_count[e.span - 1];
     if (e.phase == Phase::Fallback) ++fallbacks;
+    if (e.phase == Phase::MultiPath || e.phase == Phase::RailChunk) {
+      ++multipath_events;
+      const auto route = static_cast<std::size_t>(e.aux >> 48);
+      const std::uint64_t bytes = e.aux & ((std::uint64_t{1} << 48) - 1);
+      if (route >= path_bytes.size()) path_bytes.resize(route + 1, 0);
+      path_bytes[route] += bytes;
+    }
   }
 
   for (std::size_t i = 0; i < all_spans.size(); ++i) {

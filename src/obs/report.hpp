@@ -31,6 +31,10 @@ struct Breakdown {
   std::uint64_t matched_unexpected = 0;
   std::uint64_t retries = 0;
   std::uint64_t fallbacks = 0;
+  /// Multi-path accounting from MultiPath/RailChunk events (aux packs
+  /// route index << 48 | bytes): events seen, and bytes per route index.
+  std::uint64_t multipath_events = 0;
+  std::vector<std::uint64_t> path_bytes;
 
   /// Folds every span of `sc` into the sample vectors (callable repeatedly
   /// to aggregate across runs).

@@ -49,6 +49,10 @@ enum class Phase : std::uint8_t {
   CollChunk,          ///< pipelined collective segment handed to the p2p layer
   CollReduce,         ///< modelled reduction kernel launched on a collective segment
   PeFailed,           ///< peer PE declared dead by the failure detector
+  MultiPath,          ///< multi-path split: per-route bytes of one transfer
+                      ///< (aux = route index << 48 | bytes on that route)
+  RailChunk,          ///< multi-rail striping: per-rail bytes of an
+                      ///< inter-node transfer (aux encoded as MultiPath)
   Completed,          ///< terminal: data delivered to the receiver
   Errored,            ///< terminal: transfer failed permanently
   Cancelled,          ///< terminal: receive cancelled

@@ -76,6 +76,37 @@ struct UcxConfig {
   /// Size of the control/header portion accompanying every message.
   std::size_t header_bytes = 64;
 
+  // --- multi-path / multi-rail transfers -----------------------------------
+  /// Occupancy-aware multi-path engine for device rendezvous data legs:
+  /// intra-node transfers split across the direct NVLink route, neighbor-
+  /// GPU-staged routes, and optionally the host shm bounce; inter-node
+  /// transfers stripe across the machine's NIC rails. Requires
+  /// MachineConfig::nvlink_bricks >= 2 (intra) or nic_rails >= 2 (inter) to
+  /// add bandwidth; with the default single-brick/single-rail machine it
+  /// degenerates to the single route. Disabled (default) is bit-identical
+  /// to the single-route protocol.
+  struct MultipathConfig {
+    bool enabled = false;
+    /// Chunk granularity of a split transfer (also its pipeline depth).
+    std::size_t chunk_bytes = 512 * 1024;
+    /// Transfers below this stay single-path: still chunk-pipelined, but
+    /// every chunk rides the route that projects best at start.
+    std::size_t min_split_bytes = 2 * 1024 * 1024;
+    /// Neighbor-GPU staged routes enumerated per intra-node transfer.
+    int max_staged_routes = 1;
+    /// Whether the device->shm->device bounce joins the candidate set.
+    bool host_bounce = false;
+    /// Submit all chunks as one CUDA-graph launch (one cuda_call_us +
+    /// cuda_graph_launch_us for the batch); off = one cuda_call_us per
+    /// chunk, serialised on the submitting CPU.
+    bool cuda_graphs = true;
+    /// Per-chunk forwarding-management cost of a staged or host-bounce
+    /// route, charged to the route's bottleneck link (the NIC-rail analogue
+    /// is rndv_pipeline_overhead_us).
+    double stage_chunk_overhead_us = 2.0;
+  };
+  MultipathConfig multipath;
+
   // --- reliability (active only while the fault injector is enabled) -------
   /// Maximum number of retransmissions per wire message after the original
   /// attempt; exhausting them surfaces ReqState::Error through the
@@ -114,6 +145,12 @@ struct UcxConfig {
     if (max_retries < 0) fail("max_retries must be non-negative");
     if (max_retries > 62) fail("max_retries overflows the exponential backoff");
     if (retry_base_us <= 0) fail("retry_base_us must be positive");
+    if (multipath.chunk_bytes == 0) fail("multipath.chunk_bytes must be nonzero");
+    if (multipath.min_split_bytes == 0) fail("multipath.min_split_bytes must be nonzero");
+    if (multipath.max_staged_routes < 0) fail("multipath.max_staged_routes must be non-negative");
+    if (multipath.stage_chunk_overhead_us < 0) {
+      fail("multipath.stage_chunk_overhead_us must be non-negative");
+    }
     // The last retry deadline is retry_base_us * 2^max_retries; bounding the
     // shift alone is not enough — the multiplication by the (nanosecond)
     // base wraps uint64 first, which would yield a bogus tiny deadline.

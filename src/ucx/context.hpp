@@ -69,6 +69,11 @@ class Context {
   [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
   /// Sends that exhausted max_retries and completed with ReqState::Error.
   [[nodiscard]] std::uint64_t sendErrors() const noexcept { return send_errors_; }
+  /// Multi-path scheduler accounting (all zero unless multipath is enabled).
+  [[nodiscard]] std::uint64_t multipathTransfers() const noexcept { return mp_transfers_; }
+  [[nodiscard]] std::uint64_t multipathSplits() const noexcept { return mp_splits_; }
+  [[nodiscard]] std::uint64_t multipathChunks() const noexcept { return mp_chunks_; }
+  [[nodiscard]] std::uint64_t multipathReroutes() const noexcept { return mp_reroutes_; }
   /// Duplicate deliveries suppressed across all workers (retransmit raced a
   /// jitter-delayed original).
   [[nodiscard]] std::uint64_t duplicatesSuppressed() const noexcept {
@@ -200,6 +205,16 @@ class Context {
   /// schedules sender-side completion (Done via ATS, or Error).
   RndvResult rndvTransfer(const Worker::Incoming& msg, int dst_pe, void* dst_buf);
 
+  /// Multi-path data leg of a device->device rendezvous (replaces the
+  /// single-route leg when UcxConfig::multipath is enabled): enumerates the
+  /// machine's candidate routes, splits the payload into chunks, and commits
+  /// each chunk to the route with the least projected completion time. The
+  /// aggregate arrival is the latest chunk arrival. Fault semantics are per
+  /// chunk: a dropped chunk re-routes through a surviving path (the route
+  /// the lost attempt used is excluded from the retry) before the caller's
+  /// host-staged fallback engages via the normal Error completion.
+  RndvResult multipathRndvData(const Worker::Incoming& msg, int dst_pe, sim::TimePoint t_match);
+
   // --- reliability (active only while the fault injector is enabled) -------
 
   /// True when transfers consult the fault injector and the retry state
@@ -245,6 +260,15 @@ class Context {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t send_errors_ = 0;
+  // Multi-path scheduler accounting (see multipathRndvData).
+  std::uint64_t mp_transfers_ = 0;   ///< data legs routed through the scheduler
+  std::uint64_t mp_splits_ = 0;      ///< legs whose bytes used more than one route
+  std::uint64_t mp_chunks_ = 0;      ///< chunks committed across all legs
+  std::uint64_t mp_reroutes_ = 0;    ///< chunk retries steered to a different route
+  std::uint64_t mp_bytes_direct_ = 0;
+  std::uint64_t mp_bytes_staged_ = 0;
+  std::uint64_t mp_bytes_host_ = 0;
+  std::uint64_t mp_bytes_rail_ = 0;
   std::uint64_t pe_failures_detected_ = 0;
   std::uint64_t peer_failed_reqs_ = 0;
   std::vector<std::pair<int, std::function<void(int, sim::TimePoint)>>> peer_failure_subs_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "hw/cuda.hpp"
+#include "hw/path_sched.hpp"
 #include "ucx/context.hpp"
 #include "ucx/worker.hpp"
 
@@ -36,6 +37,14 @@ Context::Context(hw::System& sys, const UcxConfig& cfg) : sys_(sys), cfg_(cfg) {
     r.setGauge("ucx.pe_failures_detected", pe_failures_detected_);
     r.setGauge("ucx.peer_failed_reqs", peer_failed_reqs_);
     r.setGauge("ucx.duplicates_suppressed", duplicatesSuppressed());
+    r.setGauge("ucx.mp.transfers", mp_transfers_);
+    r.setGauge("ucx.mp.splits", mp_splits_);
+    r.setGauge("ucx.mp.chunks", mp_chunks_);
+    r.setGauge("ucx.mp.reroutes", mp_reroutes_);
+    r.setGauge("ucx.mp.bytes.direct", mp_bytes_direct_);
+    r.setGauge("ucx.mp.bytes.staged", mp_bytes_staged_);
+    r.setGauge("ucx.mp.bytes.host", mp_bytes_host_);
+    r.setGauge("ucx.mp.bytes.rail", mp_bytes_rail_);
     r.setGauge("ucx.req_pool.hits", req_pool_.hits());
     r.setGauge("ucx.req_pool.misses", req_pool_.misses());
     r.setGauge("ucx.buf_pool.hits", buf_hits_);
@@ -568,7 +577,14 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
 
   sim::TimePoint data_arrival = 0;
   bool failed = false;
-  if (!reliable()) {
+  if (cfg_.multipath.enabled && src_device && dst_device && src_pe != dst_pe) {
+    // Multi-path engine: replaces both the single computation and the
+    // whole-leg retry loop — fault decisions happen per chunk inside, so a
+    // lost chunk re-routes instead of replaying the entire transfer.
+    const RndvResult r = multipathRndvData(msg, dst_pe, t_match);
+    data_arrival = r.data_arrival;
+    failed = !r.ok;
+  } else if (!reliable()) {
     bool cts_ok = true;
     data_arrival = computeOnce(t_match, cts_ok);
   } else {
@@ -682,6 +698,136 @@ Context::RndvResult Context::rndvTransfer(const Worker::Incoming& msg, int dst_p
     }
   });
   return {data_arrival, true};
+}
+
+Context::RndvResult Context::multipathRndvData(const Worker::Incoming& msg, int dst_pe,
+                                               sim::TimePoint t_match) {
+  hw::Machine& machine = sys_.machine;
+  const int src_pe = msg.src_pe;
+  const std::uint64_t len = msg.len;
+  const UcxConfig::MultipathConfig& mp = cfg_.multipath;
+  const bool same_node = machine.sameNode(src_pe, dst_pe);
+  constexpr std::size_t npos = hw::PathScheduler::npos;
+
+  // Inter-node the sender drives chunk submission, so the CTS must travel
+  // back first — same shape and fault handling as the single-rail pipeline.
+  // Intra-node stays a receiver pull (CUDA-IPC semantics), no CTS.
+  sim::TimePoint start = t_match;
+  if (!same_node) {
+    const sim::Duration flight =
+        hw::Machine::ctrlTransfer(machine.hostToHostPath(dst_pe, src_pe), start,
+                                  cfg_.header_bytes) -
+        start;
+    if (reliable()) {
+      const auto [t, ok] = faultedCtrl(dst_pe, src_pe, start, flight, msg.tag, "cts");
+      if (!ok) return {t, false};
+      start = t + sim::usec(cfg_.rndv_handshake_us);
+    } else {
+      start += flight + sim::usec(cfg_.rndv_handshake_us);
+    }
+  }
+
+  hw::PathScheduler sched(
+      machine.deviceRoutes(src_pe, dst_pe, mp.max_staged_routes, same_node && mp.host_bounce));
+  if (sched.numRoutes() == 0) return {start, true};  // same GPU: nothing to move
+
+  const hw::PathScheduler::Params pp{mp.chunk_bytes, mp.min_split_bytes};
+  const std::uint64_t nchunks = hw::PathScheduler::numChunks(len, pp);
+  ++mp_transfers_;
+  mp_chunks_ += nchunks;
+
+  // Chunk submission overhead: one batched CUDA-graph launch covers every
+  // chunk (cuda::Graph semantics), otherwise each chunk pays its own
+  // runtime call, serialised on the submitting CPU.
+  const sim::Duration call = sim::usec(sys_.config.cuda_call_us);
+  const sim::Duration graph_cost = call + sim::usec(sys_.config.cuda_graph_launch_us);
+
+  // Below the split threshold the transfer stays single-path: chunks still
+  // pipeline, but all on the one route that projects best at submission.
+  const bool split = len >= mp.min_split_bytes && sched.numRoutes() > 1;
+  std::size_t locked = npos;
+
+  const std::uint64_t span = sys_.obs.spans.spanForTag(msg.tag);
+  sim::TimePoint last = start;
+  std::uint64_t remaining = len;
+  for (std::uint64_t i = 0; i < nchunks; ++i) {
+    const std::uint64_t c = remaining < mp.chunk_bytes ? remaining : mp.chunk_bytes;
+    remaining -= c;
+    sim::TimePoint t =
+        start + (mp.cuda_graphs ? graph_cost : static_cast<sim::Duration>(i + 1) * call);
+    std::size_t exclude = npos;
+    for (int attempt = 0;; ++attempt) {
+      // Route this attempt rides; a lost attempt consumes no wire time, but
+      // its choice is what the retry steers away from.
+      std::size_t pick;
+      if (!split && exclude == npos) {
+        if (locked == npos) locked = sched.best(t, c);
+        pick = locked;
+      } else {
+        pick = sched.best(t, c, exclude);
+      }
+      sim::Duration delay = 0;
+      if (reliable()) {
+        if (peerKnownDead(t, src_pe) || peerKnownDead(t, dst_pe)) {
+          sys_.trace.record(t, sim::TraceCat::PeFail, src_pe, dst_pe, c, msg.tag, "mp-chunk");
+          return {t, false};
+        }
+        const auto dec = sys_.fault.decide(t, sim::MsgClass::RndvData, src_pe, dst_pe);
+        if (dec.drop) {
+          sys_.trace.record(t, sim::TraceCat::Drop, src_pe, dst_pe, c, msg.tag, "mp-chunk");
+          if (attempt >= cfg_.max_retries) return {t, false};
+          ++retransmits_;
+          sys_.trace.record(t, sim::TraceCat::Retry, src_pe, dst_pe, c, msg.tag, "mp-chunk");
+          sys_.obs.spans.phase(span, t, obs::Phase::Retry, src_pe,
+                               static_cast<std::uint64_t>(attempt) + 1);
+          if (sched.numRoutes() > 1) {
+            // Re-route: the retry is barred from the lost attempt's route,
+            // so a chunk on a downed/lossy path moves to a surviving one
+            // before the caller's host-staged fallback ever engages.
+            exclude = pick;
+            ++mp_reroutes_;
+          }
+          t += retryDelay(attempt);
+          continue;
+        }
+        delay = dec.delay;
+      }
+      const char* kind = sched.route(pick).kind;
+      const sim::Duration chunk_overhead =
+          std::strcmp(kind, "rail") == 0
+              ? sim::usec(cfg_.rndv_pipeline_overhead_us)
+              : (std::strcmp(kind, "direct") == 0 ? 0
+                                                  : sim::usec(mp.stage_chunk_overhead_us));
+      const sim::TimePoint arrival = sched.commit(pick, t, c, chunk_overhead) + delay;
+      if (arrival > last) last = arrival;
+      break;
+    }
+  }
+
+  // Per-route accounting: one MultiPath/RailChunk span event per route that
+  // carried bytes (aux packs route index << 48 | bytes), and the registry
+  // byte counters by route kind.
+  const std::vector<std::uint64_t>& per_route = sched.bytesPerRoute();
+  std::size_t routes_used = 0;
+  for (std::size_t r = 0; r < per_route.size(); ++r) {
+    if (per_route[r] == 0) continue;
+    ++routes_used;
+    const char* kind = sched.route(r).kind;
+    const bool rail = std::strcmp(kind, "rail") == 0;
+    if (rail) {
+      mp_bytes_rail_ += per_route[r];
+    } else if (std::strcmp(kind, "direct") == 0) {
+      mp_bytes_direct_ += per_route[r];
+    } else if (std::strcmp(kind, "staged") == 0) {
+      mp_bytes_staged_ += per_route[r];
+    } else {
+      mp_bytes_host_ += per_route[r];
+    }
+    sys_.obs.spans.phase(span, last, rail ? obs::Phase::RailChunk : obs::Phase::MultiPath,
+                         src_pe, (static_cast<std::uint64_t>(r) << 48) | per_route[r]);
+  }
+  if (routes_used > 1) ++mp_splits_;
+  return {last, true};
 }
 
 // ---------------------------------------------------------------------------

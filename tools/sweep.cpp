@@ -71,8 +71,16 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train|failstop\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train|failstop|multipath\n"
       "                                      what to measure\n"
+      "                                      (multipath: single-path vs multi-path\n"
+      "                                      device bandwidth — intra-node direct vs\n"
+      "                                      direct + neighbor-staged NVLink route on\n"
+      "                                      a second brick, inter-node NIC rail\n"
+      "                                      striping at 1/2/4 rails; exits nonzero\n"
+      "                                      if the speedup misses the acceptance\n"
+      "                                      bars; uses --sizes, --stack, --iters,\n"
+      "                                      --warmup, --window, --nodes)\n"
       "                                      (failstop: fail-stop recovery smoke —\n"
       "                                      trains each stack failure-free, then with\n"
       "                                      a PE killed mid-run; checks the detector-\n"
@@ -669,6 +677,92 @@ int runShard(const Args& a) {
 }
 
 // --------------------------------------------------------------------------
+// --metric multipath: single-path vs multi-path device bandwidth
+// --------------------------------------------------------------------------
+
+/// fig12/fig13-style device bandwidth with the multi-path transfer engine
+/// off and on. Intra-node: the single direct NVLink route vs direct + one
+/// neighbor-staged route on a second brick (nvlink_bricks=2). Inter-node:
+/// NIC rail striping at rail counts 1, 2, 4. Exits nonzero when the
+/// intra-node speedup at >= 4 MiB falls below the 1.5x acceptance bar or
+/// the inter-node bandwidth fails to grow with the rail count.
+int runMultipath(const Args& a) {
+  auto point = [&](osu::Placement place, std::size_t bytes, bool multipath, int bricks,
+                   int rails) {
+    osu::BenchConfig cfg;
+    cfg.stack = a.stack;
+    cfg.mode = osu::Mode::Device;
+    cfg.place = place;
+    cfg.iters = a.iters;
+    cfg.warmup = a.warmup;
+    cfg.window = a.window;
+    cfg.model =
+        model::summit(std::max(a.nodes, place == osu::Placement::InterNode ? 2 : 1));
+    cfg.model.machine.backed_device_memory = false;  // timing-only run
+    cfg.model.machine.nvlink_bricks = bricks;
+    cfg.model.machine.nic_rails = rails;
+    cfg.model.ucx.multipath.enabled = multipath;
+    return osu::bandwidthPoint(cfg, bytes);
+  };
+
+  std::vector<std::size_t> sizes = a.sizes;
+  if (sizes.empty()) sizes = {1u << 20, 4u << 20, 16u << 20};
+  const int rail_counts[] = {1, 2, 4};
+
+  bool ok = true;
+  if (!a.json) std::printf("scope,config,size_bytes,bandwidth_MBps,speedup\n");
+  if (a.json) std::printf("{\"metric\":\"multipath\",\"intra\":[");
+  bool first = true;
+  for (const std::size_t s : sizes) {
+    const double single = point(osu::Placement::IntraNode, s, false, 1, 1);
+    const double multi = point(osu::Placement::IntraNode, s, true, 2, 1);
+    const double speedup = single > 0.0 ? multi / single : 0.0;
+    // Acceptance (ISSUE 9): >= 1.5x at >= 4 MiB with two usable NVLink routes.
+    if (s >= (4u << 20) && speedup < 1.5) ok = false;
+    if (a.json) {
+      std::printf("%s{\"size_bytes\":%zu,\"single_MBps\":%.1f,\"multi_MBps\":%.1f,"
+                  "\"speedup\":%.3f}",
+                  first ? "" : ",", s, single, multi, speedup);
+    } else {
+      std::printf("intra,single,%zu,%.1f,1.000\n", s, single);
+      std::printf("intra,multi_bricks2,%zu,%.1f,%.3f\n", s, multi, speedup);
+    }
+    first = false;
+  }
+  if (a.json) std::printf("],\"inter\":[");
+  first = true;
+  for (const std::size_t s : sizes) {
+    double rail_bw[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i)
+      rail_bw[i] = point(osu::Placement::InterNode, s, true, 1, rail_counts[i]);
+    // Rails must add bandwidth for large transfers (the single NVLink egress
+    // brick at 50 GB/s caps the 4-rail configuration well before 4x).
+    if (s >= (4u << 20) && !(rail_bw[1] > rail_bw[0] * 1.3 && rail_bw[2] > rail_bw[1])) {
+      ok = false;
+    }
+    for (int i = 0; i < 3; ++i) {
+      const double speedup = rail_bw[0] > 0.0 ? rail_bw[i] / rail_bw[0] : 0.0;
+      if (a.json) {
+        std::printf("%s{\"size_bytes\":%zu,\"rails\":%d,\"bandwidth_MBps\":%.1f,"
+                    "\"speedup\":%.3f}",
+                    first ? "" : ",", s, rail_counts[i], rail_bw[i], speedup);
+      } else {
+        std::printf("inter,rails%d,%zu,%.1f,%.3f\n", rail_counts[i], s, rail_bw[i], speedup);
+      }
+      first = false;
+    }
+  }
+  if (a.json) std::printf("],\"ok\":%s}\n", ok ? "true" : "false");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "multipath: ACCEPTANCE FAILURE — intra-node speedup < 1.5x at >= 4 MiB "
+                 "or inter-node bandwidth not scaling with rails\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------------
 // --metric coll: pipelined collectives per stack, algorithm, and size
 // --------------------------------------------------------------------------
 
@@ -960,6 +1054,7 @@ int main(int argc, char** argv) {
   if (a.metric == "match") return runMatch(a);
   if (a.metric == "breakdown") return runBreakdown(a);
   if (a.metric == "shard") return runShard(a);
+  if (a.metric == "multipath") return runMultipath(a);
   if (a.metric == "coll") return runColl(a);
   if (a.metric == "train") return runTrainMetric(a);
   if (a.metric == "failstop") return runFailstop(a);
