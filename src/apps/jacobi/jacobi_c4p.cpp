@@ -89,6 +89,7 @@ JacobiResult runC4p(const JacobiConfig& cfg, std::vector<double>* out) {
   m.machine.backed_device_memory = cfg.backed;
   hw::System sys(m.machine);
   if (cfg.observe) sys.obs.spans.enable();
+  if (cfg.setup) cfg.setup(sys);
   ucx::Context ctx(sys, m.ucx);
   ck::Runtime rt(sys, ctx, m);
   c4p::Charm4py py(rt);

@@ -90,6 +90,7 @@ JacobiResult runMpi(const JacobiConfig& cfg, std::vector<double>* out) {
   m.machine.backed_device_memory = cfg.backed;
   hw::System sys(m.machine);
   if (cfg.observe) sys.obs.spans.enable();
+  if (cfg.setup) cfg.setup(sys);
   ucx::Context ctx(sys, m.ucx);
 
   MpiEnv env;

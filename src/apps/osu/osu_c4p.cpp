@@ -37,7 +37,10 @@ sim::FutureTask c4pLatencyMain(C4pEnv* env, int side) {
   double t0 = 0;
 
   for (int it = 0; it < env->warmup + env->iters; ++it) {
-    if (client && it == env->warmup) t0 = sim::toUs(sys.engine.now());
+    if (client && it == env->warmup) {
+      t0 = sim::toUs(sys.engine.now());
+      sys.obs.markIteration(sys.engine.now());
+    }
     if (env->mode == Mode::Device) {
       // gpu_direct branch of paper Fig. 8.
       if (client) {
@@ -65,6 +68,7 @@ sim::FutureTask c4pLatencyMain(C4pEnv* env, int side) {
         co_await ch->send(env->h_buf[side].data(), n);
       }
     }
+    if (client && it >= env->warmup) sys.obs.markIteration(sys.engine.now());
   }
   if (client) {
     env->result = (sim::toUs(sys.engine.now()) - t0) / (2.0 * env->iters);
@@ -124,6 +128,7 @@ struct C4pFixture {
     m.machine.backed_device_memory = false;
     sys = std::make_unique<hw::System>(m.machine);
     if (cfg.observe) sys->obs.spans.enable();
+    if (cfg.setup) cfg.setup(*sys);
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
     py = std::make_unique<c4p::Charm4py>(*rt);

@@ -49,7 +49,10 @@ struct OsuChare : ck::Chare {
   }
 
   void latSendPing() {
-    if (it == env->warmup) t0 = sys().engine.now();
+    if (it == env->warmup) {
+      t0 = sys().engine.now();
+      sys().obs.markIteration(t0);  // iteration-window start for critical-path attribution
+    }
     if (env->mode == Mode::Device) {
       peer.sendFrom<&OsuChare::latPing>(myPe(), ck::Buffer(d_buf, env->bytes));
     } else {
@@ -84,7 +87,9 @@ struct OsuChare : ck::Chare {
   }
 
   void latIterDone() {
-    if (++it < env->warmup + env->iters) {
+    ++it;
+    if (it > env->warmup) sys().obs.markIteration(sys().engine.now());
+    if (it < env->warmup + env->iters) {
       latSendPing();
     } else {
       env->result = sim::toUs(sys().engine.now() - t0) / (2.0 * env->iters);
@@ -152,6 +157,7 @@ struct CharmFixture {
     m.machine.backed_device_memory = false;
     sys = std::make_unique<hw::System>(m.machine);
     if (cfg.observe) sys->obs.spans.enable();
+    if (cfg.setup) cfg.setup(*sys);
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
 

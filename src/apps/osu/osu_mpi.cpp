@@ -26,6 +26,7 @@ struct PairEnv {
   std::vector<std::byte> h_send[2], h_recv[2];
   std::unique_ptr<cuda::Stream> stream[2];
   double result_us = 0;
+  hw::System* sys = nullptr;  ///< for iteration marks (critical-path attribution)
 
   [[nodiscard]] int sideOf(int rank) const { return rank == client_rank ? 0 : 1; }
 };
@@ -41,7 +42,10 @@ sim::FutureTask latencyMain(RankT* r, PairEnv* env) {
   double t0 = 0;
 
   for (int it = 0; it < env->warmup + env->iters; ++it) {
-    if (client && it == env->warmup) t0 = r->timeUs();
+    if (client && it == env->warmup) {
+      t0 = r->timeUs();
+      if (env->sys != nullptr) env->sys->obs.markIteration(env->sys->engine.now());
+    }
     if (client) {
       if (env->mode == Mode::Device) {
         co_await r->send(env->d_send[side], n, peer, 1);
@@ -70,6 +74,9 @@ sim::FutureTask latencyMain(RankT* r, PairEnv* env) {
         co_await env->stream[side]->synchronize();
         co_await r->send(env->h_send[side].data(), n, peer, 2);
       }
+    }
+    if (client && it >= env->warmup && env->sys != nullptr) {
+      env->sys->obs.markIteration(env->sys->engine.now());
     }
   }
   if (client) env->result_us = (r->timeUs() - t0) / (2.0 * env->iters);
@@ -212,6 +219,7 @@ struct MpiFixture {
     m.machine.backed_device_memory = false;  // timing-only buffers
     sys = std::make_unique<hw::System>(m.machine);
     if (cfg.observe) sys->obs.spans.enable();
+    if (cfg.setup) cfg.setup(*sys);
     ctx = std::make_unique<ucx::Context>(*sys, m.ucx);
     if (cfg.stack == Stack::Ampi) {
       rt = std::make_unique<ck::Runtime>(*sys, *ctx, m);
@@ -230,6 +238,7 @@ struct MpiFixture {
     env.mode = cfg.mode;
     env.client_rank = a;
     env.server_rank = b;
+    env.sys = sys.get();
     const int pes[2] = {a, b};
     for (int s = 0; s < 2; ++s) {
       env.d_send[s] = cuda::deviceAlloc(*sys, pes[s], bytes);

@@ -398,6 +398,7 @@ AttemptOutcome runAttempt(const TrainConfig& cfg, Stack stack, int start_step, b
   model::Model m = model::summit(cfg.nodes);
   if (inject) m.machine.fault.killPe(cfg.fault.kill_pe, sim::usec(cfg.fault.kill_at_us));
   hw::System sys(m.machine);
+  if (cfg.setup) cfg.setup(sys);
   ucx::Context ctx(sys, m.ucx);
   ck::Runtime rt(sys, ctx, m);
   assert(cfg.ranks >= 1 && cfg.ranks <= rt.numPes() && "one worker per PE");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,10 @@
 /// The same templated rank program runs on all three stacks: AMPI
 /// (ampi::Rank), Charm++ array sections (coll::SectionRank), and Charm4py
 /// channel groups (coll::C4pRank).
+
+namespace cux::hw {
+struct System;
+}
 
 namespace cux::train {
 
@@ -91,6 +96,10 @@ struct TrainConfig {
   int checkpoint_every = 1;
   /// Restart attempts allowed before the job is declared failed.
   int max_restarts = 3;
+  /// Called with each freshly constructed simulated machine (one per
+  /// attempt) before any traffic runs — the hook for streaming-mode span
+  /// collection or utilization recording.
+  std::function<void(hw::System&)> setup;
 
   [[nodiscard]] std::uint64_t totalParams() const {
     std::uint64_t t = 0;

@@ -220,6 +220,7 @@ sim::TimePoint Machine::transfer(const Path& path, sim::TimePoint now, std::uint
     drain[i] = start + busy;
     head = start + sim::usec(link.params().latency_us);
     link.setFreeAt(drain[i]);
+    link.recordBusy(start, drain[i]);
   }
   // Tail arrival: each link's drain time still has to traverse its own
   // latency plus the latency of all downstream links.
@@ -262,6 +263,42 @@ sim::Duration Machine::minCrossShardLatency(int shards) {
   }
   if (best == ~sim::Duration{0} || best == 0) return 1;  // no cross-shard pairs
   return best;
+}
+
+void Machine::attachUtil(UtilRecorder& u) {
+  // Classify by walking the same per-node layout the constructor built (see
+  // the layout comment at the top of this file): GPU up/down links are
+  // NVLink bricks, then X-Bus, NIC rails, and the shm copy engine.
+  for (int n = 0; n < cfg_.num_nodes; ++n) {
+    for (int g = 0; g < cfg_.gpus_per_node; ++g)
+      for (int b = 0; b < cfg_.nvlink_bricks; ++b) {
+        Link& up = gpuUp(GpuId{n, g}, b);
+        up.attachUtil(&u, u.addResource(up.name(), ResClass::NvLink));
+        Link& down = gpuDown(GpuId{n, g}, b);
+        down.attachUtil(&u, u.addResource(down.name(), ResClass::NvLink));
+      }
+    for (int s = 0; s < cfg_.sockets_per_node; ++s) {
+      Link& x = xbus(n, s);
+      x.attachUtil(&u, u.addResource(x.name(), ResClass::XBus));
+    }
+    for (int r = 0; r < cfg_.nic_rails; ++r) {
+      Link& up = nicUp(n, r);
+      up.attachUtil(&u, u.addResource(up.name(), ResClass::Nic));
+      Link& down = nicDown(n, r);
+      down.attachUtil(&u, u.addResource(down.name(), ResClass::Nic));
+    }
+    Link& s = shm(n);
+    s.attachUtil(&u, u.addResource(s.name(), ResClass::Shm));
+    for (int g = 0; g < cfg_.gpus_per_node; ++g) {
+      const std::string cname = "n" + std::to_string(n) + ".gpu" + std::to_string(g) + ".sm";
+      gpuCompute(GpuId{n, g}).attachUtil(&u, u.addResource(cname, ResClass::GpuCompute));
+    }
+  }
+}
+
+void Machine::detachUtil() {
+  for (Link& l : links_) l.attachUtil(nullptr, -1);
+  for (Resource& r : compute_) r.attachUtil(nullptr, -1);
 }
 
 void Machine::resetOccupancy() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hw/config.hpp"
+#include "hw/util.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -35,6 +36,7 @@ class Link {
     sim::TimePoint start = now > free_ ? now : free_;
     sim::Duration busy = sim::transferTime(bytes, params_.bandwidth_gbps);
     free_ = start + busy;
+    if (util_ != nullptr) util_->busy(util_id_, start, free_);
     return start + sim::usec(params_.latency_us) + busy;
   }
 
@@ -46,6 +48,17 @@ class Link {
   void setFreeAt(sim::TimePoint t) noexcept {
     if (t > free_) free_ = t;
   }
+
+  /// Points utilization accounting at `u` (null detaches). The wormhole
+  /// transfer model calls recordBusy with the interval it computed itself.
+  void attachUtil(UtilRecorder* u, int id) noexcept {
+    util_ = u;
+    util_id_ = id;
+  }
+  void recordBusy(sim::TimePoint start, sim::TimePoint end) {
+    if (util_ != nullptr) util_->busy(util_id_, start, end);
+  }
+
   [[nodiscard]] const LinkParams& params() const noexcept { return params_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -55,6 +68,8 @@ class Link {
   std::string name_;
   LinkParams params_;
   sim::TimePoint free_ = 0;
+  UtilRecorder* util_ = nullptr;
+  int util_id_ = -1;
 };
 
 /// Identifies a GPU across the whole machine.
@@ -112,13 +127,20 @@ class Resource {
   sim::TimePoint reserve(sim::TimePoint now, sim::Duration duration) {
     const sim::TimePoint start = now > free_ ? now : free_;
     free_ = start + duration;
+    if (util_ != nullptr) util_->busy(util_id_, start, free_);
     return free_;
   }
   [[nodiscard]] sim::TimePoint freeAt() const noexcept { return free_; }
+  void attachUtil(UtilRecorder* u, int id) noexcept {
+    util_ = u;
+    util_id_ = id;
+  }
   void reset() noexcept { free_ = 0; }
 
  private:
   sim::TimePoint free_ = 0;
+  UtilRecorder* util_ = nullptr;
+  int util_id_ = -1;
 };
 
 class Machine {
@@ -228,6 +250,13 @@ class Machine {
   /// the FIFO occupancy model far more than the bytes themselves justify.
   [[nodiscard]] static sim::TimePoint ctrlTransfer(const Path& path, sim::TimePoint now,
                                                    std::uint64_t bytes);
+
+  /// Registers every link and GPU compute engine with `u` (classified by the
+  /// link layout: NVLink bricks, X-Bus, NIC rails, shm, SM arrays) and
+  /// attaches the recorder so subsequent reservations are accounted.
+  void attachUtil(UtilRecorder& u);
+  /// Detaches utilization accounting from every link and compute engine.
+  void detachUtil();
 
   void resetOccupancy();
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "hw/config.hpp"
 #include "hw/machine.hpp"
@@ -26,6 +27,7 @@ struct System {
   sim::Tracer trace;          ///< off by default; enable() to record timelines
   sim::FaultInjector fault;   ///< off by default; configured from config.fault
   obs::Observability obs;     ///< spans + metrics registry; spans off by default
+  UtilRecorder util;          ///< per-resource busy accounting; enableUtil() to start
 
   explicit System(const MachineConfig& cfg = {}) : config(cfg), machine(config) {
     fault.configure(config.fault);
@@ -43,6 +45,14 @@ struct System {
       r.setGauge("trace.dropped", trace.dropped());
       r.setGauge("obs.spans_begun", obs.spans.begun());
       r.setGauge("obs.spans_open", obs.spans.openCount());
+      r.setGauge("obs.spans_open_hwm", obs.spans.openHighWatermark());
+      r.setGauge("obs.spans_retired", obs.spans.retired());
+      r.setGauge("obs.events_dropped", obs.spans.droppedEvents());
+      r.setGauge("obs.windows", obs.spans.windows().size());
+      for (std::size_t c = 0; c < kResClassCount; ++c) {
+        const auto cls = static_cast<ResClass>(c);
+        r.setGauge(std::string("util.") + name(cls) + "_busy_ns", util.classBusy(cls));
+      }
       r.setGauge("pool.hits", pool.hits());
       r.setGauge("pool.misses", pool.misses());
       r.setGauge("pool.bytes_cached", pool.bytesCached());
@@ -54,6 +64,14 @@ struct System {
   System& operator=(const System&) = delete;
 
   [[nodiscard]] sim::TimePoint now() const noexcept { return engine.now(); }
+
+  /// Turns on per-resource utilization timelines with the given window
+  /// width. Passive accounting only — no engine events, no randomness — so
+  /// traces stay bit-identical (asserted in test_trace_hash.cpp).
+  void enableUtil(sim::Duration window_ns = 100'000) {
+    util.enable(window_ns);
+    machine.attachUtil(util);
+  }
 
   /// SMP sharding parameters for this machine: config.smp_shards shards over
   /// config.numPes() PEs, with the conservative-sync lookahead set to the

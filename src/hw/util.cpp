@@ -1,0 +1,16 @@
+#include "hw/util.hpp"
+
+namespace cux::hw {
+
+const char* name(ResClass c) {
+  switch (c) {
+    case ResClass::NvLink: return "nvlink";
+    case ResClass::XBus: return "xbus";
+    case ResClass::Nic: return "nic";
+    case ResClass::Shm: return "shm";
+    case ResClass::GpuCompute: return "gpu_compute";
+  }
+  return "?";
+}
+
+}  // namespace cux::hw

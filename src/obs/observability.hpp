@@ -58,8 +58,23 @@ class Observability {
     registry.dumpJson(os);
   }
 
+  // --- iteration marks ------------------------------------------------------
+  // Workload drivers (OSU latency mains, Jacobi steps, training steps) mark
+  // iteration boundaries in simulated time; the critical-path attribution
+  // partitions span segments between consecutive marks. No-op unless spans
+  // are enabled, so marking is trace-invisible and free in production runs.
+
+  void markIteration(sim::TimePoint t) {
+    if (spans.enabled()) iteration_marks_.push_back(t);
+  }
+  [[nodiscard]] const std::vector<sim::TimePoint>& iterationMarks() const noexcept {
+    return iteration_marks_;
+  }
+  void clearIterationMarks() { iteration_marks_.clear(); }
+
  private:
   std::vector<std::pair<int, StatsProvider>> providers_;
+  std::vector<sim::TimePoint> iteration_marks_;
   int next_provider_ = 1;
 };
 

@@ -38,15 +38,6 @@ struct Emitter {
   void close() { os << '}'; }
 };
 
-/// First-occurrence phase times per span (for the receiver-side intervals).
-struct PhaseTimes {
-  static constexpr sim::TimePoint kNone = ~sim::TimePoint{0};
-  sim::TimePoint at[kPhaseCount];
-  PhaseTimes() {
-    for (auto& t : at) t = kNone;
-  }
-};
-
 void asyncEvent(Emitter& em, const char* ph, const char* cat, const char* name,
                 std::uint64_t id, int pid, double ts) {
   em.open();
@@ -59,7 +50,8 @@ void asyncEvent(Emitter& em, const char* ph, const char* cat, const char* name,
 
 }  // namespace
 
-void writePerfetto(std::ostream& os, const SpanCollector& spans, const sim::Tracer* trace) {
+void writePerfetto(std::ostream& os, const SpanCollector& spans, const sim::Tracer* trace,
+                   const std::vector<CounterTrack>* counters) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Emitter em{os};
 
@@ -156,7 +148,16 @@ void writePerfetto(std::ostream& os, const SpanCollector& spans, const sim::Trac
        << "\",\"ph\":\"n\",\"name\":";
     jsonString(os, name(e.phase));
     os << ",\"pid\":" << pid << ",\"tid\":0,\"ts\":" << sim::toUs(e.time)
-       << ",\"args\":{\"pe\":" << e.pe << ",\"aux\":" << e.aux << "}";
+       << ",\"args\":{\"pe\":" << e.pe;
+    if (routedPhase(e.phase)) {
+      // Decode the packed multipath word: which route/rail, how many bytes —
+      // a raw 64-bit integer is useless in the UI.
+      os << ",\"route\":" << unpackRoute(e.aux)
+         << ",\"route_bytes\":" << unpackRouteBytes(e.aux);
+    } else {
+      os << ",\"aux\":" << e.aux;
+    }
+    os << "}";
     em.close();
   }
 
@@ -175,6 +176,26 @@ void writePerfetto(std::ostream& os, const SpanCollector& spans, const sim::Trac
       os << "\"ph\":\"C\",\"name\":\"inflight-spans\",\"pid\":" << pe
          << ",\"tid\":0,\"ts\":" << sim::toUs(t) << ",\"args\":{\"spans\":" << level << "}";
       em.close();
+    }
+  }
+
+  // Caller-supplied counter tracks (resource-utilization timelines) on a
+  // dedicated "resources" process so they group together in the UI.
+  if (counters != nullptr && !counters->empty()) {
+    constexpr int kResourcePid = 1'000'000;
+    em.open();
+    os << "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kResourcePid
+       << ",\"tid\":0,\"args\":{\"name\":\"resources\"}";
+    em.close();
+    for (const CounterTrack& track : *counters) {
+      for (const auto& [ts, value] : track.points) {
+        em.open();
+        os << "\"ph\":\"C\",\"name\":";
+        jsonString(os, track.name.c_str());
+        os << ",\"pid\":" << kResourcePid << ",\"tid\":0,\"ts\":" << ts
+           << ",\"args\":{\"value\":" << value << "}";
+        em.close();
+      }
     }
   }
 

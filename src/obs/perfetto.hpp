@@ -1,6 +1,9 @@
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/span.hpp"
 #include "sim/trace.hpp"
@@ -20,7 +23,15 @@
 
 namespace cux::obs {
 
+/// One named counter series rendered as a Perfetto counter track (pid 0).
+/// Used for the resource-utilization timelines: (ts_us, value) samples.
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
 void writePerfetto(std::ostream& os, const SpanCollector& spans,
-                   const sim::Tracer* trace = nullptr);
+                   const sim::Tracer* trace = nullptr,
+                   const std::vector<CounterTrack>* counters = nullptr);
 
 }  // namespace cux::obs

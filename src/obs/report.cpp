@@ -5,87 +5,74 @@
 
 namespace cux::obs {
 
-namespace {
+void Breakdown::accumulateSpan(const SpanInfo& s, const SpanEvent* events,
+                               std::size_t n_events) {
+  PhaseTimes pt;
+  std::uint64_t span_retries = 0;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    const SpanEvent& e = events[i];
+    pt.see(e.phase, e.time);
+    if (e.phase == Phase::Retry) ++span_retries;
+    if (e.phase == Phase::Fallback) ++fallbacks;
+    if (routedPhase(e.phase)) {
+      ++multipath_events;
+      const std::size_t route = unpackRoute(e.aux);
+      if (route >= path_bytes.size()) path_bytes.resize(route + 1, 0);
+      path_bytes[route] += unpackRouteBytes(e.aux);
+    }
+  }
 
-/// First-occurrence timestamp of each phase for one span; kNone = unseen.
-struct PhaseTimes {
-  static constexpr sim::TimePoint kNone = ~sim::TimePoint{0};
-  sim::TimePoint at[kPhaseCount];
-  PhaseTimes() {
-    for (auto& t : at) t = kNone;
-  }
-  [[nodiscard]] bool has(Phase p) const noexcept {
-    return at[static_cast<std::size_t>(p)] != kNone;
-  }
-  [[nodiscard]] sim::TimePoint get(Phase p) const noexcept {
-    return at[static_cast<std::size_t>(p)];
-  }
-};
+  ++spans;
+  retries += span_retries;
+  if (!s.open && s.terminal == Phase::Completed) ++completed;
+  if (!s.open && s.terminal == Phase::Errored) ++errored;
+  if (pt.has(Phase::MatchedPosted)) ++matched_posted;
+  if (pt.has(Phase::MatchedUnexpected)) ++matched_unexpected;
 
-}  // namespace
+  if (!s.open && s.terminal == Phase::Completed) {
+    total.push_back(sim::toUs(s.end - s.begin));
+  }
+  if (pt.has(Phase::MetaArrived)) {
+    meta.push_back(sim::toUs(pt.get(Phase::MetaArrived) - s.begin));
+    if (pt.has(Phase::RecvPosted)) {
+      post_delay.push_back(sim::toUs(pt.get(Phase::RecvPosted) - pt.get(Phase::MetaArrived)));
+    }
+  }
+  if (pt.has(Phase::EarlyArrival)) {
+    const sim::TimePoint matched = pt.has(Phase::MatchedUnexpected)
+                                       ? pt.get(Phase::MatchedUnexpected)
+                                       : (pt.has(Phase::RecvPosted) ? pt.get(Phase::RecvPosted)
+                                                                    : PhaseTimes::kNone);
+    if (matched != PhaseTimes::kNone && matched >= pt.get(Phase::EarlyArrival)) {
+      early_wait.push_back(sim::toUs(matched - pt.get(Phase::EarlyArrival)));
+    }
+  }
+  if (pt.has(Phase::Completed)) {
+    sim::TimePoint from = PhaseTimes::kNone;
+    if (pt.has(Phase::RecvPosted)) from = pt.get(Phase::RecvPosted);
+    if (pt.has(Phase::MatchedUnexpected) && pt.get(Phase::MatchedUnexpected) > from &&
+        from != PhaseTimes::kNone) {
+      from = pt.get(Phase::MatchedUnexpected);
+    } else if (from == PhaseTimes::kNone && pt.has(Phase::MatchedUnexpected)) {
+      from = pt.get(Phase::MatchedUnexpected);
+    }
+    if (from != PhaseTimes::kNone && pt.get(Phase::Completed) >= from) {
+      data.push_back(sim::toUs(pt.get(Phase::Completed) - from));
+    }
+  }
+}
 
 void Breakdown::accumulate(const SpanCollector& sc) {
+  // Group the flat event vector by span id, then fold each span through the
+  // same per-span path the streaming sinks use.
   const auto& all_spans = sc.spans();
-  std::vector<PhaseTimes> times(all_spans.size());
-  std::vector<std::uint64_t> retry_count(all_spans.size(), 0);
+  std::vector<std::vector<SpanEvent>> per_span(all_spans.size());
   for (const SpanEvent& e : sc.events()) {
-    if (e.span == 0 || e.span > times.size()) continue;
-    PhaseTimes& pt = times[e.span - 1];
-    const auto idx = static_cast<std::size_t>(e.phase);
-    if (e.time < pt.at[idx]) pt.at[idx] = e.time;
-    if (e.phase == Phase::Retry) ++retry_count[e.span - 1];
-    if (e.phase == Phase::Fallback) ++fallbacks;
-    if (e.phase == Phase::MultiPath || e.phase == Phase::RailChunk) {
-      ++multipath_events;
-      const auto route = static_cast<std::size_t>(e.aux >> 48);
-      const std::uint64_t bytes = e.aux & ((std::uint64_t{1} << 48) - 1);
-      if (route >= path_bytes.size()) path_bytes.resize(route + 1, 0);
-      path_bytes[route] += bytes;
-    }
+    if (e.span == 0 || e.span > all_spans.size()) continue;
+    per_span[e.span - 1].push_back(e);
   }
-
-  for (std::size_t i = 0; i < all_spans.size(); ++i) {
-    const SpanInfo& s = all_spans[i];
-    const PhaseTimes& pt = times[i];
-    ++spans;
-    retries += retry_count[i];
-    if (!s.open && s.terminal == Phase::Completed) ++completed;
-    if (!s.open && s.terminal == Phase::Errored) ++errored;
-    if (pt.has(Phase::MatchedPosted)) ++matched_posted;
-    if (pt.has(Phase::MatchedUnexpected)) ++matched_unexpected;
-
-    if (!s.open && s.terminal == Phase::Completed) {
-      total.push_back(sim::toUs(s.end - s.begin));
-    }
-    if (pt.has(Phase::MetaArrived)) {
-      meta.push_back(sim::toUs(pt.get(Phase::MetaArrived) - s.begin));
-      if (pt.has(Phase::RecvPosted)) {
-        post_delay.push_back(sim::toUs(pt.get(Phase::RecvPosted) - pt.get(Phase::MetaArrived)));
-      }
-    }
-    if (pt.has(Phase::EarlyArrival)) {
-      const sim::TimePoint matched = pt.has(Phase::MatchedUnexpected)
-                                         ? pt.get(Phase::MatchedUnexpected)
-                                         : (pt.has(Phase::RecvPosted) ? pt.get(Phase::RecvPosted)
-                                                                      : PhaseTimes::kNone);
-      if (matched != PhaseTimes::kNone && matched >= pt.get(Phase::EarlyArrival)) {
-        early_wait.push_back(sim::toUs(matched - pt.get(Phase::EarlyArrival)));
-      }
-    }
-    if (pt.has(Phase::Completed)) {
-      sim::TimePoint from = PhaseTimes::kNone;
-      if (pt.has(Phase::RecvPosted)) from = pt.get(Phase::RecvPosted);
-      if (pt.has(Phase::MatchedUnexpected) && pt.get(Phase::MatchedUnexpected) > from &&
-          from != PhaseTimes::kNone) {
-        from = pt.get(Phase::MatchedUnexpected);
-      } else if (from == PhaseTimes::kNone && pt.has(Phase::MatchedUnexpected)) {
-        from = pt.get(Phase::MatchedUnexpected);
-      }
-      if (from != PhaseTimes::kNone && pt.get(Phase::Completed) >= from) {
-        data.push_back(sim::toUs(pt.get(Phase::Completed) - from));
-      }
-    }
-  }
+  for (std::size_t i = 0; i < all_spans.size(); ++i)
+    accumulateSpan(all_spans[i], per_span[i].data(), per_span[i].size());
 }
 
 double percentile(std::vector<double>& v, double p) {

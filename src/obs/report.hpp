@@ -39,6 +39,12 @@ struct Breakdown {
   /// Folds every span of `sc` into the sample vectors (callable repeatedly
   /// to aggregate across runs).
   void accumulate(const SpanCollector& sc);
+
+  /// Folds one span from its summary + own event list. The per-span core of
+  /// accumulate(), exposed so a streaming Sink can feed a Breakdown at
+  /// retirement time without ever retaining the run.
+  void accumulateSpan(const SpanInfo& info, const SpanEvent* events,
+                      std::size_t n_events);
 };
 
 /// p in [0, 100]; sorts `v` in place. Returns 0 for an empty vector.

@@ -205,6 +205,7 @@ struct alignas(64) StormAcc {
 struct StormCtx {
   ShardedEngine* se = nullptr;
   int pes = 0;
+  const StormConfig* cfg = nullptr;
   std::vector<Duration> lat;  ///< dense pes x pes latency table
   std::vector<StormAcc> acc;  ///< one per shard
 
@@ -219,6 +220,10 @@ void hop(StormCtx& ctx, int pe, std::uint64_t rng_state, std::uint32_t walker, i
   const int shard = ctx.se->shardOfPe(pe);
   Engine& engine = ctx.se->engineOf(shard);
   ctx.acc[static_cast<std::size_t>(shard)].record(engine.now(), pe, walker, hops_left);
+  // Observational hook only — runs on this shard's thread, after the record,
+  // and feeds nothing back into the engines, so the storm hash is identical
+  // with or without it (asserted in test_obs_stream.cpp).
+  if (ctx.cfg->on_delivery) ctx.cfg->on_delivery(shard, pe, engine.now(), walker, hops_left);
   if (hops_left <= 0) return;
   SplitMix64 rng(rng_state);
   const int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(ctx.pes)));
@@ -237,6 +242,7 @@ StormResult runMessageStorm(ShardedEngine& se, const StormConfig& cfg,
   StormCtx ctx;
   ctx.se = &se;
   ctx.pes = se.plan().num_pes;
+  ctx.cfg = &cfg;
   ctx.lat.resize(static_cast<std::size_t>(ctx.pes) * static_cast<std::size_t>(ctx.pes));
   for (int a = 0; a < ctx.pes; ++a) {
     for (int b = 0; b < ctx.pes; ++b) {

@@ -805,8 +805,8 @@ Context::RndvResult Context::multipathRndvData(const Worker::Incoming& msg, int 
   }
 
   // Per-route accounting: one MultiPath/RailChunk span event per route that
-  // carried bytes (aux packs route index << 48 | bytes), and the registry
-  // byte counters by route kind.
+  // carried bytes (aux = obs::packRouteBytes(route, bytes)), and the
+  // registry byte counters by route kind.
   const std::vector<std::uint64_t>& per_route = sched.bytesPerRoute();
   std::size_t routes_used = 0;
   for (std::size_t r = 0; r < per_route.size(); ++r) {
@@ -824,7 +824,7 @@ Context::RndvResult Context::multipathRndvData(const Worker::Incoming& msg, int 
       mp_bytes_host_ += per_route[r];
     }
     sys_.obs.spans.phase(span, last, rail ? obs::Phase::RailChunk : obs::Phase::MultiPath,
-                         src_pe, (static_cast<std::uint64_t>(r) << 48) | per_route[r]);
+                         src_pe, obs::packRouteBytes(static_cast<unsigned>(r), per_route[r]));
   }
   if (routes_used > 1) ++mp_splits_;
   return {last, true};

@@ -15,6 +15,7 @@
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "ucx/context.hpp"
 
@@ -224,6 +225,168 @@ TEST(Spans, OutOfRangeSpanIdsAreIgnored) {
   sc.end(12345, 20, obs::Phase::Completed, 0);
   EXPECT_TRUE(sc.events().empty());
   EXPECT_EQ(sc.doubleCloses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming mode: windowed aggregation, sinks, packed-aux decode
+// ---------------------------------------------------------------------------
+
+TEST(PackedAux, RouteBytesRoundTripAndMask) {
+  const std::uint64_t aux = obs::packRouteBytes(3, 4096);
+  EXPECT_EQ(obs::unpackRoute(aux), 3u);
+  EXPECT_EQ(obs::unpackRouteBytes(aux), 4096u);
+  // Bytes beyond 48 bits truncate instead of bleeding into the route field.
+  const std::uint64_t big = obs::packRouteBytes(7, ~std::uint64_t{0});
+  EXPECT_EQ(obs::unpackRoute(big), 7u);
+  EXPECT_EQ(obs::unpackRouteBytes(big), obs::kAuxBytesMask);
+  EXPECT_TRUE(obs::routedPhase(obs::Phase::MultiPath));
+  EXPECT_TRUE(obs::routedPhase(obs::Phase::RailChunk));
+  EXPECT_FALSE(obs::routedPhase(obs::Phase::PayloadSent));
+}
+
+TEST(Spans, StreamingRetiresIntoWindowsAndSink) {
+  obs::NullSink sink;
+  obs::SpanCollector sc;
+  sc.enableStreaming({}, &sink);
+  EXPECT_TRUE(sc.enabled());
+  EXPECT_TRUE(sc.streaming());
+
+  const auto s1 = sc.begin(1000, 0, 1, 4096, "charm");
+  sc.phase(s1, 1500, obs::Phase::MetaArrived, 1);
+  const auto s2 = sc.begin(1100, 2, 3, 4096, "charm");
+  EXPECT_EQ(sc.openCount(), 2u);
+  EXPECT_EQ(sc.openHighWatermark(), 2u);
+  sc.end(s1, 2000, obs::Phase::Completed, 1);
+  sc.end(s2, 2100, obs::Phase::Completed, 3);
+
+  EXPECT_EQ(sc.begun(), 2u);
+  EXPECT_EQ(sc.retired(), 2u);
+  EXPECT_EQ(sc.openCount(), 0u);
+  EXPECT_EQ(sink.spans(), 2u);
+  EXPECT_TRUE(sc.spans().empty()) << "streaming mode must not retain spans";
+  EXPECT_TRUE(sc.events().empty());
+  // Both spans end inside the same 100 us window of the same kind/size class.
+  ASSERT_EQ(sc.windows().size(), 1u);
+  const auto& [key, stats] = *sc.windows().windows().begin();
+  EXPECT_STREQ(key.kind, "charm");
+  EXPECT_EQ(key.size_class, 13u);  // bit_width(4096)
+  EXPECT_EQ(stats.spans, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.bytes, 8192u);
+  EXPECT_EQ(stats.total.count, 2u);
+
+  sc.flushWindows();
+  EXPECT_EQ(sink.windows(), 1u);
+}
+
+TEST(Spans, StreamingTagBindingWorksWhileOpen) {
+  obs::SpanCollector sc;
+  sc.enableStreaming({}, nullptr);
+  const auto s = sc.begin(0, 0, 1, 64, "raw");
+  sc.bindTag(s, 4242);
+  EXPECT_EQ(sc.spanForTag(4242), s);
+  const obs::SpanInfo* info = sc.span(s);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->tag, 4242u);
+  sc.end(s, 50, obs::Phase::Completed, 1);
+  EXPECT_EQ(sc.spanForTag(4242), 0u) << "retirement must unbind the tag";
+  EXPECT_EQ(sc.span(s), nullptr) << "retired spans are gone by design";
+}
+
+TEST(Windows, MergeFromIsAdditiveAndDeterministic) {
+  const auto foldSpan = [](obs::WindowAggregator& agg, sim::TimePoint begin,
+                           sim::TimePoint end, std::uint64_t bytes) {
+    obs::SpanInfo info;
+    info.begin = begin;
+    info.end = end;
+    info.src_pe = 0;
+    info.dst_pe = 1;
+    info.bytes = bytes;
+    info.kind = "charm";
+    info.terminal = obs::Phase::Completed;
+    const obs::SpanEvent events[] = {
+        {1, begin, obs::Phase::ApiSend, 0, bytes},
+        {1, end, obs::Phase::Completed, 1, 0},
+    };
+    agg.fold(info, events, 2);
+  };
+
+  obs::WindowAggregator whole, part_a, part_b;
+  for (auto* agg : {&whole, &part_a, &part_b}) agg->configure({});
+  for (int i = 0; i < 6; ++i) {
+    const auto begin = static_cast<sim::TimePoint>(1000 + 500 * i);
+    foldSpan(whole, begin, begin + 300, 4096);
+    foldSpan(i % 2 == 0 ? part_a : part_b, begin, begin + 300, 4096);
+  }
+  obs::WindowAggregator merged;
+  merged.configure({});
+  merged.mergeFrom(part_a);
+  merged.mergeFrom(part_b);
+
+  std::ostringstream whole_os, merged_os;
+  whole.dumpJson(whole_os);
+  merged.dumpJson(merged_os);
+  EXPECT_EQ(merged_os.str(), whole_os.str())
+      << "partitioned folds must merge to the unpartitioned aggregate";
+}
+
+TEST(Windows, ExemplarsKeepTheSmallestSpans) {
+  obs::WindowAggregator agg;
+  agg.configure({100'000, /*exemplars_per_window=*/2});
+  for (const sim::TimePoint begin : {3000u, 1000u, 2000u, 4000u}) {
+    obs::SpanInfo info;
+    info.begin = begin;
+    info.end = begin + 10;
+    info.bytes = 64;
+    info.kind = "charm";
+    info.terminal = obs::Phase::Completed;
+    const obs::SpanEvent ev{1, begin, obs::Phase::ApiSend, 0, 64};
+    agg.fold(info, &ev, 1);
+  }
+  ASSERT_EQ(agg.size(), 1u);
+  const auto& stats = agg.windows().begin()->second;
+  ASSERT_EQ(stats.exemplars.size(), 2u);
+  EXPECT_EQ(stats.exemplars[0].info.begin, 1000u);
+  EXPECT_EQ(stats.exemplars[1].info.begin, 2000u);
+}
+
+TEST(Sinks, JsonlSinkDecodesRoutedAuxAndTypesEveryLine) {
+  std::ostringstream os;
+  obs::JsonlSink sink(os);
+  obs::SpanCollector sc;
+  sc.enableStreaming({}, &sink);
+
+  const auto s = sc.begin(1000, 0, 6, 1 << 20, "charm");
+  sc.phase(s, 1500, obs::Phase::MultiPath, 0, obs::packRouteBytes(3, 4096));
+  sc.phase(s, 1600, obs::Phase::RailChunk, 0, obs::packRouteBytes(1, 65536));
+  sc.end(s, 2000, obs::Phase::Completed, 6);
+  sc.flushWindows();
+  sink.utilLine("nvlink", 0, 100'000, 40'000, 600'000);
+
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(j.find("\"type\":\"window\""), std::string::npos);
+  EXPECT_NE(j.find("\"type\":\"util\""), std::string::npos);
+  // Satellite invariant: packed aux words always reach the stream decoded.
+  // Check inside each routed event object — other phases (e.g. ApiSend,
+  // whose aux carries the byte count) may legitimately emit a raw aux.
+  const auto routedEvent = [&j](const char* phase) {
+    const auto at = j.find(phase);
+    EXPECT_NE(at, std::string::npos) << phase;
+    return j.substr(at, j.find('}', at) - at);
+  };
+  const std::string mp = routedEvent("\"phase\":\"multi-path\"");
+  EXPECT_NE(mp.find("\"route\":3"), std::string::npos);
+  EXPECT_NE(mp.find("\"route_bytes\":4096"), std::string::npos);
+  EXPECT_EQ(mp.find("\"aux\""), std::string::npos)
+      << "routed events must never leak the raw packed word";
+  const std::string rail = routedEvent("\"phase\":\"rail-chunk\"");
+  EXPECT_NE(rail.find("\"route\":1"), std::string::npos);
+  EXPECT_NE(rail.find("\"route_bytes\":65536"), std::string::npos);
+  EXPECT_EQ(rail.find("\"aux\""), std::string::npos);
+  EXPECT_GE(sink.lines(), 3u);
+  // Every line is one JSON object: balanced braces, one per newline.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "sim/shard.hpp"
+
+/// Bounded-memory streaming observability (ROADMAP item 4): a message storm
+/// at >= 10x the collector's default span capacity must run with collector
+/// memory independent of the message count, the storm timeline must be
+/// bit-identical with the observation hook on or off, and the windowed
+/// aggregates must merge to the same result for every shard count.
+
+// --------------------------------------------------------------------------
+// Live-byte heap accounting. Every allocation is prefixed with a 16-byte
+// header holding its size, so operator delete can subtract exactly what
+// operator new added. Atomics, because the sharded storm allocates from
+// every shard thread. (Alloc *counts* would be the wrong metric here: the
+// open-span index legitimately allocates one hash node per begin and frees
+// it at retirement — bounded live memory is the contract, not zero mallocs.)
+// --------------------------------------------------------------------------
+
+static std::atomic<std::uint64_t> g_live{0};
+static std::atomic<std::uint64_t> g_peak{0};
+
+namespace {
+constexpr std::size_t kHeader = 16;  // preserves max_align_t alignment
+
+void* trackedAlloc(std::size_t n) {
+  void* raw = std::malloc(n + kHeader);
+  if (raw == nullptr) throw std::bad_alloc();
+  *static_cast<std::uint64_t*>(raw) = n;
+  const std::uint64_t live = g_live.fetch_add(n, std::memory_order_relaxed) + n;
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (peak < live &&
+         !g_peak.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void trackedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  char* raw = static_cast<char*>(p) - kHeader;
+  g_live.fetch_sub(*reinterpret_cast<std::uint64_t*>(raw), std::memory_order_relaxed);
+  std::free(raw);
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return trackedAlloc(n); }
+void* operator new[](std::size_t n) { return trackedAlloc(n); }
+void operator delete(void* p) noexcept { trackedFree(p); }
+void operator delete[](void* p) noexcept { trackedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { trackedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { trackedFree(p); }
+
+namespace {
+
+using namespace cux;
+
+// Same latency shape as test_shard.cpp: varied but >= 50 ns, so a 50 ns
+// lookahead is safe at any shard count.
+sim::Duration stormLatency(int a, int b) {
+  return 50 + 7 * static_cast<sim::Duration>((a * 13 + b * 31) % 6);
+}
+
+sim::ShardPlan stormPlan(int shards, int pes) {
+  sim::ShardPlan p;
+  p.shards = shards;
+  p.num_pes = pes;
+  p.lookahead = 50;
+  return p;
+}
+
+/// One streaming span per delivery, recorded entirely on the delivering
+/// shard's thread (the storm contract: on_delivery runs on that shard's
+/// thread, so per-shard collectors need no locks).
+void attachSpanHook(sim::StormConfig& cfg, std::vector<obs::SpanCollector>& cols) {
+  cfg.on_delivery = [&cols](int shard, int pe, sim::TimePoint t, std::uint32_t walker,
+                            int hops_left) {
+    obs::SpanCollector& c = cols[static_cast<std::size_t>(shard)];
+    const std::uint64_t id = c.begin(t, pe, pe, walker, "storm.hop");
+    c.phase(id, t, obs::Phase::MatchedPosted, pe, static_cast<std::uint64_t>(hops_left));
+    c.end(id, t, obs::Phase::Completed, pe);
+  };
+}
+
+// --------------------------------------------------------------------------
+// Bounded memory at 10x the default span capacity (the acceptance bar:
+// >= 40960 deliveries vs the collector's default 4096-span reservation).
+// --------------------------------------------------------------------------
+
+constexpr int kPes = 16;
+constexpr int kWalkers = 16;
+constexpr int kHops = 159;
+constexpr std::uint64_t kDeliveries =
+    static_cast<std::uint64_t>(kPes) * kWalkers * (kHops + 1);
+static_assert(kDeliveries >= 10 * 4096, "storm must be >= 10x the default span capacity");
+
+struct StormRun {
+  sim::StormResult result;
+  std::int64_t live_growth = 0;  ///< bytes still allocated after the run
+  std::int64_t peak_growth = 0;  ///< peak bytes above the pre-run level
+  std::uint64_t begun = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t open = 0;
+  std::uint64_t open_hwm = 0;
+  std::uint64_t dropped = 0;
+};
+
+StormRun runTenXStorm(bool streaming) {
+  sim::ShardedEngine se(stormPlan(4, kPes));
+  std::vector<obs::SpanCollector> cols(static_cast<std::size_t>(se.shards()));
+  sim::StormConfig cfg;
+  cfg.walkers_per_pe = kWalkers;
+  cfg.hops = kHops;
+  attachSpanHook(cfg, cols);
+
+  // Snapshot before enable(): the collectors' up-front reservations are part
+  // of their footprint (retained mode pre-reserves O(default span count)).
+  const std::uint64_t before = g_live.load(std::memory_order_relaxed);
+  g_peak.store(before, std::memory_order_relaxed);
+  for (obs::SpanCollector& c : cols) {
+    if (streaming) {
+      c.enableStreaming({}, nullptr);
+    } else {
+      c.enable();
+    }
+  }
+  StormRun out;
+  out.result = sim::runMessageStorm(se, cfg, stormLatency);
+  out.live_growth = static_cast<std::int64_t>(g_live.load(std::memory_order_relaxed)) -
+                    static_cast<std::int64_t>(before);
+  out.peak_growth = static_cast<std::int64_t>(g_peak.load(std::memory_order_relaxed)) -
+                    static_cast<std::int64_t>(before);
+  for (const obs::SpanCollector& c : cols) {
+    out.begun += c.begun();
+    out.retired += c.retired();
+    out.open += c.openCount();
+    out.open_hwm = std::max(out.open_hwm, c.openHighWatermark());
+    out.dropped += c.droppedEvents();
+  }
+  return out;
+}
+
+TEST(StreamObs, TenXStormStaysBoundedWhileRetainedModeGrows) {
+  const StormRun streaming = runTenXStorm(/*streaming=*/true);
+  const StormRun retained = runTenXStorm(/*streaming=*/false);
+
+  ASSERT_EQ(streaming.result.deliveries, kDeliveries);
+  EXPECT_EQ(streaming.begun, kDeliveries);
+  EXPECT_EQ(streaming.retired, kDeliveries) << "every span must retire through streaming";
+  EXPECT_EQ(streaming.open, 0u);
+  EXPECT_LE(streaming.open_hwm, 1u) << "hook spans close in the same callback";
+  EXPECT_EQ(streaming.dropped, 0u);
+  EXPECT_EQ(retained.begun, kDeliveries);
+
+  // The acceptance bound: streaming collector memory is O(open spans +
+  // windows), not O(deliveries). 1 MiB is ~25 B/span of headroom; the real
+  // footprint (slot pool + a handful of windows) is far below it.
+  EXPECT_LT(streaming.live_growth, std::int64_t{1} << 20)
+      << "streaming collectors retained per-message memory";
+  EXPECT_LT(streaming.peak_growth, std::int64_t{2} << 20)
+      << "streaming collectors ballooned mid-run";
+
+  // Retained mode keeps every span + 3 events (~150 B/span): the growth gap
+  // is what the streaming mode exists to remove.
+  EXPECT_GT(retained.live_growth, std::int64_t{4} << 20);
+  EXPECT_GT(retained.live_growth, 4 * std::max<std::int64_t>(streaming.live_growth, 1));
+}
+
+// --------------------------------------------------------------------------
+// Trace invisibility: the hook and the streaming collectors change nothing
+// about the storm timeline.
+// --------------------------------------------------------------------------
+
+TEST(StreamObs, HookAndStreamingCollectorsLeaveStormTimelineUntouched) {
+  const int pes = 8;
+  sim::StormConfig cfg;
+  cfg.walkers_per_pe = 3;
+  cfg.hops = 24;
+
+  sim::ShardedEngine bare_se(stormPlan(3, pes));
+  const sim::StormResult bare = sim::runMessageStorm(bare_se, cfg, stormLatency);
+
+  sim::ShardedEngine obs_se(stormPlan(3, pes));
+  std::vector<obs::SpanCollector> cols(static_cast<std::size_t>(obs_se.shards()));
+  for (obs::SpanCollector& c : cols) c.enableStreaming({}, nullptr);
+  attachSpanHook(cfg, cols);
+  const sim::StormResult observed = sim::runMessageStorm(obs_se, cfg, stormLatency);
+
+  EXPECT_EQ(observed.hash, bare.hash);
+  EXPECT_EQ(observed.deliveries, bare.deliveries);
+  EXPECT_EQ(observed.last_delivery, bare.last_delivery);
+  EXPECT_EQ(observed.epochs, bare.epochs);
+  EXPECT_EQ(observed.cross_posts, bare.cross_posts);
+  std::uint64_t retired = 0;
+  for (const obs::SpanCollector& c : cols) retired += c.retired();
+  EXPECT_EQ(retired, bare.deliveries) << "the hook must still observe every delivery";
+}
+
+// --------------------------------------------------------------------------
+// Window-merge determinism: per-shard aggregates merged in shard-index order
+// reduce to the same windows — exemplars included — for every shard count.
+// --------------------------------------------------------------------------
+
+TEST(StreamObs, MergedWindowsAreInvariantAcrossShardCounts) {
+  const int pes = 12;
+  const std::uint64_t deliveries = 12ull * 4 * 64;
+  auto windowsJson = [&](int shards) {
+    sim::ShardedEngine se(stormPlan(shards, pes));
+    std::vector<obs::SpanCollector> cols(static_cast<std::size_t>(se.shards()));
+    for (obs::SpanCollector& c : cols) c.enableStreaming({}, nullptr);
+    sim::StormConfig cfg;
+    cfg.walkers_per_pe = 4;
+    cfg.hops = 63;
+    attachSpanHook(cfg, cols);
+    const sim::StormResult r = sim::runMessageStorm(se, cfg, stormLatency);
+    EXPECT_EQ(r.deliveries, deliveries) << "shards=" << shards;
+
+    obs::SpanCollector merged;
+    merged.enableStreaming({}, nullptr);
+    for (const obs::SpanCollector& c : cols) merged.mergeFrom(c);
+    EXPECT_EQ(merged.retired(), deliveries) << "shards=" << shards;
+    std::ostringstream os;
+    merged.windows().dumpJson(os);
+    return os.str();
+  };
+
+  const std::string base = windowsJson(1);
+  ASSERT_NE(base.find("storm.hop"), std::string::npos);
+  for (int shards : {2, 3, 4}) {
+    EXPECT_EQ(windowsJson(shards), base) << "shards=" << shards;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Steady state: once the slot pool and the window are faulted in, span
+// lifecycles hold live heap memory flat (node churn in the open-span index
+// is alloc/free balanced; slots and event capacity recycle).
+// --------------------------------------------------------------------------
+
+TEST(StreamObs, SteadyStateRetirementHoldsLiveMemoryFlat) {
+  obs::NullSink sink;
+  obs::SpanCollector sc;
+  obs::StreamConfig cfg;
+  cfg.window_ns = sim::Duration{1} << 30;  // everything lands in window 0
+  sc.enableStreaming(cfg, &sink);
+
+  auto spanAt = [&sc](sim::TimePoint t) {
+    const std::uint64_t id = sc.begin(t, 0, 1, 4096, "steady");
+    sc.phase(id, t + 1, obs::Phase::RecvPosted, 1);
+    sc.end(id, t + 2, obs::Phase::Completed, 1);
+  };
+  for (sim::TimePoint t = 100; t < 164; ++t) spanAt(t);  // fault pool + exemplars in
+
+  const std::int64_t before = static_cast<std::int64_t>(g_live.load(std::memory_order_relaxed));
+  for (sim::TimePoint t = 1000; t < 11000; ++t) spanAt(t);
+  const std::int64_t growth =
+      static_cast<std::int64_t>(g_live.load(std::memory_order_relaxed)) - before;
+
+  EXPECT_LE(growth, 4096) << "steady-state retirement must not accumulate memory";
+  EXPECT_EQ(sc.retired(), 64u + 10000u);
+  EXPECT_EQ(sink.spans(), 64u + 10000u);
+  EXPECT_EQ(sc.openCount(), 0u);
+  EXPECT_EQ(sc.openHighWatermark(), 1u);
+  ASSERT_EQ(sc.windows().size(), 1u) << "one kind x one size class x one window";
+
+  sc.flushWindows();
+  EXPECT_EQ(sink.windows(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Fidelity-loss accounting: records that arrive after retirement are
+// counted, never stored.
+// --------------------------------------------------------------------------
+
+TEST(StreamObs, LateRecordsAfterRetirementAreCountedNotStored) {
+  obs::SpanCollector sc;
+  sc.enableStreaming({}, nullptr);
+  const std::uint64_t id = sc.begin(10, 0, 1, 64, "late");
+  sc.end(id, 20, obs::Phase::Completed, 1);
+  EXPECT_EQ(sc.retired(), 1u);
+
+  sc.phase(id, 30, obs::Phase::RndvAts, 0);  // span is gone
+  EXPECT_EQ(sc.droppedEvents(), 1u);
+  sc.end(id, 40, obs::Phase::Errored, 0);  // second close
+  EXPECT_EQ(sc.doubleCloses(), 1u);
+  EXPECT_EQ(sc.terminalCount(obs::Phase::Completed), 1u);
+  EXPECT_EQ(sc.terminalCount(obs::Phase::Errored), 0u);
+}
+
+}  // namespace

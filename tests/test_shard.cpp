@@ -220,6 +220,54 @@ TEST(ShardedEngine, PhysicalResultsAreInvariantAcrossShardCounts) {
   }
 }
 
+TEST(ShardedEngine, DeliveryHookSeesEveryDeliveryWithoutChangingTheTimeline) {
+  // The streaming-observability attachment point: on_delivery runs on the
+  // delivering shard's thread after the accumulator records, so it must be
+  // (a) complete — one call per delivery with the recorded arguments — and
+  // (b) invisible — hash, timestamps and epoch counts identical to a run
+  // without the hook.
+  const int pes = 10;
+  sim::StormConfig cfg;
+  cfg.walkers_per_pe = 3;
+  cfg.hops = 21;
+  for (int shards : {1, 3}) {
+    sim::ShardedEngine bare_se(testPlan(shards, pes));
+    const sim::StormResult bare = sim::runMessageStorm(bare_se, cfg, testLatency);
+
+    std::vector<std::uint64_t> per_shard(static_cast<std::size_t>(shards), 0);
+    std::atomic<std::uint64_t> bad{0};
+    sim::StormConfig hooked = cfg;
+    hooked.on_delivery = [&](int shard, int pe, sim::TimePoint t, std::uint32_t walker,
+                             int hops_left) {
+      // Shard-thread affinity lets this write be plain (no lock): the hook
+      // for shard s only ever runs on shard s's thread.
+      ++per_shard[static_cast<std::size_t>(shard)];
+      if (shard != sim::shardOfPe(pe, pes, shards) || t > bare.last_delivery ||
+          walker >= static_cast<std::uint32_t>(pes * cfg.walkers_per_pe) ||
+          hops_left < 0 || hops_left > cfg.hops) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    sim::ShardedEngine se(testPlan(shards, pes));
+    const sim::StormResult observed = sim::runMessageStorm(se, hooked, testLatency);
+
+    EXPECT_EQ(observed.hash, bare.hash) << "shards=" << shards;
+    EXPECT_EQ(observed.deliveries, bare.deliveries) << "shards=" << shards;
+    EXPECT_EQ(observed.last_delivery, bare.last_delivery) << "shards=" << shards;
+    EXPECT_EQ(observed.epochs, bare.epochs) << "shards=" << shards;
+    EXPECT_EQ(bad.load(), 0u) << "hook arguments out of contract at shards=" << shards;
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : per_shard) total += n;
+    EXPECT_EQ(total, bare.deliveries) << "shards=" << shards;
+    if (shards > 1) {
+      for (int s = 0; s < shards; ++s) {
+        EXPECT_GT(per_shard[static_cast<std::size_t>(s)], 0u)
+            << "shard " << s << " never delivered";
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Epoch-protocol edges: runUntil clock contract, stop, mailbox residue
 // --------------------------------------------------------------------------

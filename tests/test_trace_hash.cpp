@@ -7,6 +7,7 @@
 #include "core/device_comm.hpp"
 #include "hw/cuda.hpp"
 #include "model/model.hpp"
+#include "obs/sink.hpp"
 #include "sim/rng.hpp"
 #include "ucx/context.hpp"
 
@@ -32,16 +33,22 @@ TEST(TraceHash, OrderSensitive) {
   EXPECT_NE(a.hash(), sim::Tracer{}.hash());
 }
 
+/// Span-collector configuration under test: off, retained vectors, or the
+/// bounded-memory streaming mode (windowed aggregation through a sink).
+enum class ObsMode { Off, Retained, Streaming };
+
 std::uint64_t mixedUcxTrafficHash(const sim::FaultConfig& fault = {},
                                   ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed,
-                                  bool pooling = true, bool obs = false) {
+                                  bool pooling = true, ObsMode obs = ObsMode::Off) {
   model::Model m = model::summit(2);
   m.ucx.matcher = matcher;
   m.ucx.pooling = pooling;
   m.machine.fault = fault;
+  obs::NullSink sink;
   hw::System sys(m.machine);
   sys.trace.enable();
-  if (obs) sys.obs.spans.enable();
+  if (obs == ObsMode::Retained) sys.obs.spans.enable();
+  if (obs == ObsMode::Streaming) sys.obs.spans.enableStreaming({}, &sink);
   ucx::Context ctx(sys, m.ucx);
   sim::SplitMix64 rng(42);
 
@@ -94,14 +101,16 @@ TEST(TraceHash, MixedUcxTrafficBitIdenticalAcrossRuns) {
 
 std::uint64_t deviceCommHash(bool smp, const sim::FaultConfig& fault = {},
                              ucx::MatcherImpl matcher = ucx::MatcherImpl::Bucketed,
-                             bool obs = false) {
+                             ObsMode obs = ObsMode::Off) {
   model::Model m = model::summit(2);
   m.ucx.matcher = matcher;
   m.costs.smp_comm_thread = smp;
   m.machine.fault = fault;
+  obs::NullSink sink;
   hw::System sys(m.machine);
   sys.trace.enable();
-  if (obs) sys.obs.spans.enable();
+  if (obs == ObsMode::Retained) sys.obs.spans.enable();
+  if (obs == ObsMode::Streaming) sys.obs.spans.enableStreaming({}, &sink);
   ucx::Context ctx(sys, m.ucx);
   cmi::Converse cmi(sys, ctx, m.costs);
   core::DeviceComm dev(cmi);
@@ -181,17 +190,36 @@ TEST(TraceHash, DisabledInjectorIsBitIdenticalToNoInjector) {
 // hash bit-identical. This must hold on the clean timeline AND on a faulty
 // one, where the Retry/Fallback/Errored span phases fire too.
 TEST(TraceHash, ObservabilityIsTraceInvisible) {
-  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, /*obs=*/false),
-            mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, /*obs=*/true));
-  EXPECT_EQ(deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, /*obs=*/false),
-            deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, /*obs=*/true));
-  EXPECT_EQ(deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, /*obs=*/false),
-            deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, /*obs=*/true));
+  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, ObsMode::Off),
+            mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, ObsMode::Retained));
+  EXPECT_EQ(deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, ObsMode::Retained));
+  EXPECT_EQ(deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, ObsMode::Retained));
   const auto loss = sim::FaultConfig::uniformLoss(0.1, 3);
-  EXPECT_EQ(mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, /*obs=*/false),
-            mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, /*obs=*/true));
-  EXPECT_EQ(deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, /*obs=*/false),
-            deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, /*obs=*/true));
+  EXPECT_EQ(mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, ObsMode::Off),
+            mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, ObsMode::Retained));
+  EXPECT_EQ(deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, ObsMode::Retained));
+}
+
+// The same contract for the bounded-memory mode: windowed aggregation and
+// sink fan-out happen at retirement, on the observer's side of the fence —
+// no events scheduled, no randomness consumed, hashes bit-identical to a run
+// with observability off. Faulty timelines exercise the Retry/Fallback
+// retirement paths too.
+TEST(TraceHash, StreamingObservabilityIsTraceInvisible) {
+  EXPECT_EQ(mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, ObsMode::Off),
+            mixedUcxTrafficHash({}, ucx::MatcherImpl::Bucketed, true, ObsMode::Streaming));
+  EXPECT_EQ(deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(false, {}, ucx::MatcherImpl::Bucketed, ObsMode::Streaming));
+  EXPECT_EQ(deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(true, {}, ucx::MatcherImpl::Bucketed, ObsMode::Streaming));
+  const auto loss = sim::FaultConfig::uniformLoss(0.1, 3);
+  EXPECT_EQ(mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, ObsMode::Off),
+            mixedUcxTrafficHash(loss, ucx::MatcherImpl::Bucketed, true, ObsMode::Streaming));
+  EXPECT_EQ(deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, ObsMode::Off),
+            deviceCommHash(false, loss, ucx::MatcherImpl::Bucketed, ObsMode::Streaming));
 }
 
 // Enabled faults are themselves deterministic: a fixed seed reproduces the

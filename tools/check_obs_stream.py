@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Schema checker for gpucomm_sweep --stream-obs JSONL output.
+
+Validates every line of the streaming-observability file: each is a
+self-describing JSON object typed "span", "window" or "util". CI runs this
+against a profile sweep's stream; exits nonzero on the first violation.
+
+Stdlib only — no third-party dependencies.
+"""
+
+import json
+import sys
+
+SPAN_REQUIRED = {
+    "type": str, "id": int, "kind": str, "src_pe": int, "dst_pe": int,
+    "bytes": int, "begin_ns": int, "end_ns": int, "terminal": str,
+    "events": list,
+}
+EVENT_REQUIRED = {"t_ns": int, "phase": str, "pe": int}
+WINDOW_REQUIRED = {
+    "type": str, "kind": str, "size_class": int, "window": int,
+    "window_ns": int, "spans": int, "completed": int, "errored": int,
+    "cancelled": int, "retries": int, "fallbacks": int, "early_arrivals": int,
+    "multipath_events": int, "bytes": int, "hist": dict, "exemplars": list,
+}
+UTIL_REQUIRED = {
+    "type": str, "class": str, "window": int, "window_ns": int,
+    "busy_ns": int, "capacity_ns": int,
+}
+TERMINALS = {"completed", "errored", "cancelled"}
+RES_CLASSES = {"nvlink", "xbus", "nic", "shm", "gpu_compute"}
+
+
+def fail(lineno, msg):
+    print(f"check_obs_stream: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(lineno, obj, required, what):
+    for key, typ in required.items():
+        if key not in obj:
+            fail(lineno, f"{what} missing field {key!r}")
+        if not isinstance(obj[key], typ) or isinstance(obj[key], bool):
+            fail(lineno, f"{what} field {key!r} is not {typ.__name__}")
+
+
+def check_event(lineno, ev):
+    check_fields(lineno, ev, EVENT_REQUIRED, "event")
+    routed = ev["phase"] in ("multi-path", "rail-chunk")
+    if routed:
+        # Satellite invariant: packed route/bytes aux words are always decoded.
+        if "route" not in ev or "route_bytes" not in ev:
+            fail(lineno, "routed event lacks decoded route/route_bytes")
+        if "aux" in ev:
+            fail(lineno, "routed event leaks raw packed aux word")
+    else:
+        if "route" in ev or "route_bytes" in ev:
+            fail(lineno, f"non-routed phase {ev['phase']!r} carries route fields")
+
+
+def check_span(lineno, obj):
+    check_fields(lineno, obj, SPAN_REQUIRED, "span")
+    if obj["terminal"] not in TERMINALS:
+        fail(lineno, f"unknown terminal {obj['terminal']!r}")
+    if obj["end_ns"] < obj["begin_ns"]:
+        fail(lineno, "span ends before it begins")
+    if not obj["events"]:
+        fail(lineno, "span has no events")
+    for ev in obj["events"]:
+        check_event(lineno, ev)
+
+
+def check_window(lineno, obj):
+    check_fields(lineno, obj, WINDOW_REQUIRED, "window")
+    if obj["window_ns"] <= 0:
+        fail(lineno, "window_ns must be positive")
+    if obj["spans"] < obj["completed"] + obj["errored"] + obj["cancelled"]:
+        fail(lineno, "terminal counts exceed span count")
+    for hist_name, hist in obj["hist"].items():
+        check_fields(lineno, hist, {"count": int, "sum_ns": int, "buckets": dict},
+                     f"hist {hist_name!r}")
+        bucket_total = 0
+        for bucket, count in hist["buckets"].items():
+            if not bucket.isdigit() or not isinstance(count, int) or count < 0:
+                fail(lineno, f"hist {hist_name!r} has bad bucket {bucket!r}")
+            bucket_total += count
+        if bucket_total != hist["count"]:
+            fail(lineno, f"hist {hist_name!r} buckets sum {bucket_total} != count")
+    for ex in obj["exemplars"]:
+        check_fields(lineno, ex, {"begin_ns": int, "end_ns": int, "src_pe": int,
+                                  "dst_pe": int, "bytes": int, "events": int}, "exemplar")
+
+
+def check_util(lineno, obj):
+    check_fields(lineno, obj, UTIL_REQUIRED, "util")
+    if obj["class"] not in RES_CLASSES:
+        fail(lineno, f"unknown resource class {obj['class']!r}")
+    if obj["busy_ns"] > obj["capacity_ns"]:
+        fail(lineno, "busy exceeds window capacity")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_obs_stream.py FILE.jsonl", file=sys.stderr)
+        return 2
+    counts = {"span": 0, "window": 0, "util": 0}
+    with open(sys.argv[1], encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"not valid JSON: {e}")
+            kind = obj.get("type")
+            if kind == "span":
+                check_span(lineno, obj)
+            elif kind == "window":
+                check_window(lineno, obj)
+            elif kind == "util":
+                check_util(lineno, obj)
+            else:
+                fail(lineno, f"unknown line type {kind!r}")
+            counts[kind] += 1
+    total = sum(counts.values())
+    if total == 0:
+        print("check_obs_stream: stream is empty", file=sys.stderr)
+        return 1
+    print(f"check_obs_stream: OK — {counts['span']} span, "
+          f"{counts['window']} window, {counts['util']} util lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

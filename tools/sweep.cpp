@@ -15,10 +15,12 @@
 /// Output is CSV on stdout (one row per size / per node count / per rate).
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,8 +34,11 @@
 #include "converse/converse.hpp"
 #include "core/device_comm.hpp"
 #include "hw/cuda.hpp"
+#include "hw/util.hpp"
+#include "obs/critpath.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/report.hpp"
+#include "obs/sink.hpp"
 #include "sim/fault.hpp"
 #include "sim/shard.hpp"
 
@@ -65,14 +70,76 @@ struct Args {
   bool impl_set = false;
   int ranks = 8;  ///< collective members / training workers (--metric coll, train)
   int steps = 3;  ///< training steps (--metric train)
+  std::string stream_obs;  ///< --stream-obs FILE: JSONL stream of retired spans / windows
 };
+
+// --------------------------------------------------------------------------
+// --stream-obs: one shared JSONL stream across every data point of a metric
+// --------------------------------------------------------------------------
+
+/// Owns the --stream-obs output file and its JsonlSink. Every metric that
+/// constructs a simulated machine calls apply() from the fixture's setup hook
+/// (switching the span collector to streaming mode, so spans flow out as they
+/// retire instead of accumulating) and flush() after the run (windowed
+/// aggregates + utilization timeline lines).
+struct StreamObs {
+  std::ofstream file;
+  std::unique_ptr<obs::JsonlSink> jsonl;
+
+  [[nodiscard]] bool active() const noexcept { return jsonl != nullptr; }
+
+  bool open(const std::string& path) {
+    if (path.empty()) return true;
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "stream-obs: cannot open %s\n", path.c_str());
+      return false;
+    }
+    jsonl = std::make_unique<obs::JsonlSink>(file);
+    return true;
+  }
+
+  void apply(hw::System& sys) {
+    if (jsonl) sys.obs.spans.enableStreaming({}, jsonl.get());
+  }
+
+  void emitUtil(hw::System& sys) {
+    if (!jsonl || !sys.util.enabled()) return;
+    const std::uint64_t wns = sys.util.windowNs();
+    for (const auto& [key, busy] : sys.util.windows()) {
+      const auto cls = static_cast<hw::ResClass>(key.first);
+      jsonl->utilLine(hw::name(cls), key.second, wns, busy,
+                      static_cast<std::uint64_t>(sys.util.classResources(cls)) * wns);
+    }
+  }
+
+  void flush(hw::System& sys) {
+    if (!jsonl) return;
+    sys.obs.spans.flushWindows();
+    emitUtil(sys);
+  }
+};
+
+StreamObs g_stream;  // NOLINT: single-threaded CLI driver state
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train|failstop|multipath\n"
+      "  --metric latency|bandwidth|jacobi|loss|match|breakdown|shard|coll|train|failstop|"
+      "multipath|profile\n"
       "                                      what to measure\n"
+      "                                      (profile: critical-path attribution —\n"
+      "                                      each measured iteration's wall time\n"
+      "                                      decomposed into compute, per-link-class\n"
+      "                                      wire wait, recv-post delay, early-arrival\n"
+      "                                      wait and retry overhead, plus per-class\n"
+      "                                      resource-utilization totals; components\n"
+      "                                      sum to the wall time, checked to 1%% —\n"
+      "                                      a violation exits nonzero; stacks charm,\n"
+      "                                      ampi, charm4py unless --stack; uses\n"
+      "                                      --sizes, --iters, --warmup, --mode,\n"
+      "                                      --place, --nodes)\n"
       "                                      (multipath: single-path vs multi-path\n"
       "                                      device bandwidth — intra-node direct vs\n"
       "                                      direct + neighbor-staged NVLink route on\n"
@@ -134,9 +201,16 @@ struct Args {
       "                                      (default 8)\n"
       "  --steps N                           training steps (default 3)\n"
       "  --json                              machine-readable JSON instead of CSV\n"
-      "  --perfetto FILE                     (breakdown) write a Chrome trace_event\n"
-      "                                      JSON of the last data point's spans,\n"
-      "                                      loadable in ui.perfetto.dev\n",
+      "  --perfetto FILE                     (breakdown, profile) write a Chrome\n"
+      "                                      trace_event JSON of the last data\n"
+      "                                      point's spans (profile adds resource-\n"
+      "                                      utilization counter tracks), loadable\n"
+      "                                      in ui.perfetto.dev\n"
+      "  --stream-obs FILE                   stream observability JSONL (any metric):\n"
+      "                                      span collection runs in bounded-memory\n"
+      "                                      streaming mode; one JSON object per\n"
+      "                                      line, typed span/window/util (schema\n"
+      "                                      checked by tools/check_obs_stream.py)\n",
       argv0);
   std::exit(2);
 }
@@ -179,6 +253,8 @@ Args parse(int argc, char** argv) {
       a.json = true;
     } else if (opt == "--perfetto") {
       a.perfetto = need(i);
+    } else if (opt == "--stream-obs") {
+      a.stream_obs = need(i);
     } else if (opt == "--mode") {
       const std::string v = need(i);
       a.mode = v == "host" ? osu::Mode::HostStaging : osu::Mode::Device;
@@ -246,6 +322,10 @@ int runMicro(const Args& a) {
   cfg.model = model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
   if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
+  if (g_stream.active()) {
+    cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
+    cfg.inspect = [](hw::System& sys) { g_stream.flush(sys); };
+  }
   const bool lat = a.metric == "latency";
   const auto pts = lat ? osu::runLatency(cfg) : osu::runBandwidth(cfg);
   const char* value_key = lat ? "one_way_latency_us" : "bandwidth_MBps";
@@ -276,6 +356,10 @@ int runJacobi(const Args& a) {
   cfg.model = model::summit(a.nodes);
   cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
   if (a.drop > 0.0) cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
+  if (g_stream.active()) {
+    cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
+    cfg.inspect = [](hw::System& sys) { g_stream.flush(sys); };
+  }
   const auto r = jacobi::runJacobi(cfg);
   if (a.json) {
     std::printf("{\"metric\":\"jacobi\",\"nodes\":%d,"
@@ -331,6 +415,7 @@ int runLoss(const Args& a) {
                                          : sim::FaultConfig{};
     for (const std::size_t bytes : sizes) {
       Recovery rc;
+      if (g_stream.active()) cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
       cfg.inspect = [&rc](hw::System& sys) {
         sys.obs.refresh();
         const obs::Registry& r = sys.obs.registry;
@@ -338,6 +423,7 @@ int runLoss(const Args& a) {
         rc.send_errors = r.gaugeValue("ucx.send_errors");
         rc.fallbacks = r.gaugeValue("lrts.fallbacks");
         rc.recv_reposts = r.gaugeValue("lrts.recv_reposts");
+        g_stream.flush(sys);
       };
       const double lat = osu::latencyPoint(cfg, bytes);
       if (a.json) {
@@ -407,6 +493,7 @@ int runMatch(const Args& a) {
   {  // raw UCX worker
     model::Model m = model::summit(nodes);
     hw::System sys(m.machine);
+    if (g_stream.active()) g_stream.apply(sys);
     ucx::Context ctx(sys, m.ucx);
     std::vector<std::byte> src(256), dst(256);
     for (int it = 0; it < iters; ++it) {
@@ -424,6 +511,7 @@ int runMatch(const Args& a) {
       }
       sys.engine.run();
     }
+    g_stream.flush(sys);
     printMatchRow(a, true, "ucx", ctx.matchStats());
   }
 
@@ -431,6 +519,7 @@ int runMatch(const Args& a) {
      // Worker::tagRecv under a full mask
     model::Model m = model::summit(nodes);
     hw::System sys(m.machine);
+    if (g_stream.active()) g_stream.apply(sys);
     ucx::Context ctx(sys, m.ucx);
     cmi::Converse cmi(sys, ctx, m.costs);
     core::DeviceComm dev(cmi);
@@ -449,12 +538,14 @@ int runMatch(const Args& a) {
       }
       sys.engine.run();
     }
+    g_stream.flush(sys);
     printMatchRow(a, false, "charm", dev.matchStats());
   }
 
   {  // AMPI: (src, tag, comm) matching over the bucketed rank queues
     model::Model m = model::summit(nodes);
     hw::System sys(m.machine);
+    if (g_stream.active()) g_stream.apply(sys);
     ucx::Context ctx(sys, m.ucx);
     ck::Runtime rt(sys, ctx, m);
     ampi::World world(rt);
@@ -482,6 +573,7 @@ int runMatch(const Args& a) {
       std::fprintf(stderr, "match: AMPI workload deadlocked\n");
       return 1;
     }
+    g_stream.flush(sys);
     printMatchRow(a, false, "ampi", world.matchStats());
   }
   if (a.json) std::printf("]}\n");
@@ -506,6 +598,26 @@ int runMatch(const Args& a) {
   }
   return "?";
 }
+
+/// Tee sink: folds each retired span into an obs::Breakdown (streaming-mode
+/// percentile accumulation) and forwards the stream to a downstream sink.
+struct BreakdownSink final : obs::Sink {
+  obs::Breakdown* b = nullptr;
+  obs::Sink* next = nullptr;
+
+  void onSpanRetired(std::uint64_t id, const obs::SpanInfo& info, const obs::SpanEvent* events,
+                     std::size_t n) override {
+    b->accumulateSpan(info, events, n);
+    if (next != nullptr) next->onSpanRetired(id, info, events, n);
+  }
+  void onWindow(const obs::WindowKey& k, const obs::WindowStats& s,
+                const obs::WindowConfig& c) override {
+    if (next != nullptr) next->onWindow(k, s, c);
+  }
+  void finish() override {
+    if (next != nullptr) next->finish();
+  }
+};
 
 /// Runs the OSU latency point per stack and size with span collection on and
 /// reports per-phase interval percentiles: the metadata leg, the recv-post
@@ -544,10 +656,18 @@ int runBreakdown(const Args& a) {
       }
       cfg.observe = true;
       Row row{stackKey(stack), bytes, 0.0, {}};
-      cfg.inspect = [&row, &last_spans](hw::System& sys) {
-        row.b.accumulate(sys.obs.spans);
-        last_spans = sys.obs.spans;
-      };
+      BreakdownSink bsink;  // streaming path: percentiles fold at retirement
+      if (g_stream.active()) {
+        bsink.b = &row.b;
+        bsink.next = g_stream.jsonl.get();
+        cfg.setup = [&bsink](hw::System& sys) { sys.obs.spans.enableStreaming({}, &bsink); };
+        cfg.inspect = [](hw::System& sys) { g_stream.flush(sys); };
+      } else {
+        cfg.inspect = [&row, &last_spans](hw::System& sys) {
+          row.b.accumulate(sys.obs.spans);
+          last_spans = sys.obs.spans;
+        };
+      }
       row.latency_us = osu::latencyPoint(cfg, bytes);
       rows.push_back(std::move(row));
     }
@@ -625,7 +745,13 @@ int runShard(const Args& a) {
   bool first = true;
   bool all_ok = true;
   for (int shards = 1; shards <= max_shards; ++shards) {
-    auto once = [&](double* wall_ms, std::uint64_t* events) {
+    // With --stream-obs, every delivery records a span into a per-shard
+    // streaming collector (no cross-thread sharing); the per-shard window
+    // aggregates merge additively after the run, so the emitted windows are
+    // shard-count invariant. The hook runs after the hash record and feeds
+    // nothing back, so the storm hash is unchanged.
+    auto once = [&](double* wall_ms, std::uint64_t* events,
+                    std::vector<obs::SpanCollector>* cols) {
       model::Model m = model::summit(a.nodes < 2 ? 2 : a.nodes);
       m.machine.smp_shards = shards;
       hw::System sys(m.machine);
@@ -634,6 +760,18 @@ int runShard(const Args& a) {
       storm.walkers_per_pe = 4;
       storm.hops = 64;
       storm.seed = a.fault_seed;
+      if (cols != nullptr) {
+        cols->resize(static_cast<std::size_t>(se.shards()));
+        for (obs::SpanCollector& c : *cols) c.enableStreaming({}, nullptr);
+        storm.on_delivery = [cols](int shard, int pe, sim::TimePoint t, std::uint32_t walker,
+                                   int hops_left) {
+          obs::SpanCollector& c = (*cols)[static_cast<std::size_t>(shard)];
+          const std::uint64_t id =
+              c.begin(t, pe, pe, static_cast<std::uint64_t>(walker), "storm.hop");
+          c.phase(id, t, obs::Phase::MatchedPosted, pe, static_cast<std::uint64_t>(hops_left));
+          c.end(id, t, obs::Phase::Completed, pe);
+        };
+      }
       const auto t0 = std::chrono::steady_clock::now();
       const sim::StormResult r = sim::runMessageStorm(se, storm, [&sys](int x, int y) {
         return sys.machine.pathLatency(sys.machine.hostToHostPath(x, y));
@@ -645,8 +783,17 @@ int runShard(const Args& a) {
     };
     double ms_a = 0.0, ms_b = 0.0;
     std::uint64_t ev_a = 0, ev_b = 0;
-    const sim::StormResult ra = once(&ms_a, &ev_a);
-    const sim::StormResult rb = once(&ms_b, &ev_b);
+    std::vector<obs::SpanCollector> cols;
+    const sim::StormResult ra = once(&ms_a, &ev_a, g_stream.active() ? &cols : nullptr);
+    const sim::StormResult rb = once(&ms_b, &ev_b, nullptr);
+    if (g_stream.active() && !cols.empty()) {
+      // Merge the per-shard window aggregates in shard-index order and emit
+      // them; the merged windows are identical at every shard count.
+      obs::SpanCollector merged;
+      merged.enableStreaming({}, g_stream.jsonl.get());
+      for (const obs::SpanCollector& c : cols) merged.mergeFrom(c);
+      merged.flushWindows();
+    }
     const bool ok = ra.hash == rb.hash && ra.deliveries == rb.deliveries &&
                     ra.last_delivery == rb.last_delivery;
     all_ok = all_ok && ok;
@@ -702,6 +849,10 @@ int runMultipath(const Args& a) {
     cfg.model.machine.nvlink_bricks = bricks;
     cfg.model.machine.nic_rails = rails;
     cfg.model.ucx.multipath.enabled = multipath;
+    if (g_stream.active()) {
+      cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
+      cfg.inspect = [](hw::System& sys) { g_stream.flush(sys); };
+    }
     return osu::bandwidthPoint(cfg, bytes);
   };
 
@@ -788,6 +939,7 @@ double collPoint(const Args& a, osu::Stack stack, coll::CollImpl impl, std::uint
   m.machine.backed_device_memory = false;  // timing-only run
   if (a.drop > 0.0) m.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
   hw::System sys(m.machine);
+  if (g_stream.active()) g_stream.apply(sys);
   ucx::Context ctx(sys, m.ucx);
   ck::Runtime rt(sys, ctx, m);
 
@@ -845,6 +997,7 @@ double collPoint(const Args& a, osu::Stack stack, coll::CollImpl impl, std::uint
       break;  // rejected in runColl
   }
   sys.engine.run();
+  g_stream.flush(sys);
   const auto first = static_cast<std::size_t>(warmup - 1);
   const auto last = static_cast<std::size_t>(total - 1);
   if ((*done)[last] == 0) {
@@ -929,6 +1082,9 @@ int runTrainMetric(const Args& a) {
   cfg.nodes = std::max(a.nodes, (a.ranks + 5) / 6);
   if (a.impl_set) cfg.coll.impl = a.impl;
   cfg.host_staged = a.mode == osu::Mode::HostStaging;
+  // Span lines stream at retirement; attempts have no post-run hook, so the
+  // window aggregates of a training attempt are not emitted.
+  if (g_stream.active()) cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
 
   if (a.json) std::printf("{\"metric\":\"train\",\"points\":[");
   if (!a.json) {
@@ -1000,6 +1156,7 @@ int runFailstop(const Args& a) {
   cfg.nodes = std::max(a.nodes, (a.ranks + 5) / 6);
   if (a.impl_set) cfg.coll.impl = a.impl;
   cfg.host_staged = a.mode == osu::Mode::HostStaging;
+  if (g_stream.active()) cfg.setup = [](hw::System& sys) { g_stream.apply(sys); };
 
   if (a.json) std::printf("{\"metric\":\"failstop\",\"points\":[");
   if (!a.json) {
@@ -1044,10 +1201,228 @@ int runFailstop(const Args& a) {
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// --metric profile: critical-path attribution + resource utilization
+// --------------------------------------------------------------------------
+
+/// Tee sink: derives each retired span's critical-path segments at
+/// retirement time (so attribution works in bounded-memory streaming mode)
+/// and forwards the stream to a downstream sink.
+struct CritSink final : obs::Sink {
+  obs::CritPath* crit = nullptr;
+  obs::Sink* next = nullptr;
+
+  void onSpanRetired(std::uint64_t id, const obs::SpanInfo& info, const obs::SpanEvent* events,
+                     std::size_t n) override {
+    crit->addSpan(info, events, n);
+    if (next != nullptr) next->onSpanRetired(id, info, events, n);
+  }
+  void onWindow(const obs::WindowKey& k, const obs::WindowStats& s,
+                const obs::WindowConfig& c) override {
+    if (next != nullptr) next->onWindow(k, s, c);
+  }
+  void finish() override {
+    if (next != nullptr) next->finish();
+  }
+};
+
+/// One Perfetto counter track per resource class: per-window utilization
+/// (busy ns / capacity ns), sampled at each window's start time.
+[[nodiscard]] std::vector<obs::CounterTrack> utilCounters(const hw::UtilRecorder& u) {
+  std::vector<obs::CounterTrack> out(hw::kResClassCount);
+  for (std::size_t c = 0; c < hw::kResClassCount; ++c) {
+    out[c].name = std::string("util.") + hw::name(static_cast<hw::ResClass>(c));
+  }
+  const double w_us = static_cast<double>(u.windowNs()) / 1000.0;
+  for (const auto& [key, busy] : u.windows()) {
+    const auto cls = static_cast<std::size_t>(key.first);
+    const std::uint32_t n = u.classResources(static_cast<hw::ResClass>(key.first));
+    const double cap = static_cast<double>(u.windowNs()) * (n == 0 ? 1 : n);
+    out[cls].points.emplace_back(static_cast<double>(key.second) * w_us,
+                                 static_cast<double>(busy) / cap);
+  }
+  std::erase_if(out, [](const obs::CounterTrack& t) { return t.points.empty(); });
+  return out;
+}
+
+/// Runs the OSU latency point per stack and size with streaming span
+/// collection, utilization recording and iteration marks on, and decomposes
+/// each measured iteration's wall time into compute, per-link-class wire
+/// wait, recv-post delay, early-arrival wait, and retry/fallback overhead.
+/// The boundary-sweep partition makes the components sum to the wall time by
+/// construction; the 1% acceptance bound is still cross-checked and a
+/// violation exits nonzero. Utilization columns are whole-point class totals
+/// (repeated on every iteration row of the point).
+int runProfile(const Args& a) {
+  const std::vector<osu::Stack> stacks =
+      a.stack_set ? std::vector<osu::Stack>{a.stack}
+                  : std::vector<osu::Stack>{osu::Stack::Charm, osu::Stack::Ampi,
+                                            osu::Stack::Charm4py};
+  const std::vector<std::size_t> sizes =
+      a.sizes.empty() ? std::vector<std::size_t>{4096, 65536, 1048576} : a.sizes;
+
+  struct Point {
+    const char* stack = "";
+    std::size_t bytes = 0;
+    double latency_us = 0;
+    std::vector<obs::CritPath::Iteration> iters;
+    std::array<std::uint64_t, hw::kResClassCount> busy{};
+    std::array<std::uint32_t, hw::kResClassCount> nres{};
+    std::uint64_t spans = 0, retired = 0, open_hwm = 0, dropped = 0, windows = 0;
+  };
+  std::vector<Point> points;
+  std::vector<obs::CounterTrack> last_counters;  // --perfetto: last point's timeline
+  bool sum_ok = true;
+
+  for (const osu::Stack stack : stacks) {
+    for (const std::size_t bytes : sizes) {
+      osu::BenchConfig cfg;
+      cfg.stack = stack;
+      cfg.mode = a.mode;
+      cfg.place = a.place;
+      cfg.iters = a.iters;
+      cfg.warmup = a.warmup;
+      cfg.model =
+          model::summit(a.nodes < 2 && a.place == osu::Placement::InterNode ? 2 : a.nodes);
+      cfg.model.ucx.gdrcopy_enabled = a.gdrcopy;
+      if (a.drop > 0.0) {
+        cfg.model.machine.fault = sim::FaultConfig::uniformLoss(a.drop, a.fault_seed);
+      }
+      cfg.observe = true;
+
+      obs::CritPathConfig ccfg;
+      ccfg.gpus_per_node = cfg.model.machine.gpus_per_node;
+      ccfg.host_staged = a.mode == osu::Mode::HostStaging;
+      obs::CritPath crit(ccfg);
+      CritSink csink;
+      csink.crit = &crit;
+      csink.next = g_stream.jsonl.get();  // null when --stream-obs absent
+
+      Point p;
+      p.stack = stackKey(stack);
+      p.bytes = bytes;
+      std::vector<sim::TimePoint> marks;
+      cfg.setup = [&csink](hw::System& sys) {
+        sys.obs.spans.enableStreaming({}, &csink);
+        sys.enableUtil();
+      };
+      cfg.inspect = [&](hw::System& sys) {
+        marks = sys.obs.iterationMarks();
+        sys.obs.spans.flushWindows();
+        p.spans = sys.obs.spans.begun();
+        p.retired = sys.obs.spans.retired();
+        p.open_hwm = sys.obs.spans.openHighWatermark();
+        p.dropped = sys.obs.spans.droppedEvents();
+        p.windows = sys.obs.spans.windows().size();
+        for (std::size_t c = 0; c < hw::kResClassCount; ++c) {
+          p.busy[c] = sys.util.classBusy(static_cast<hw::ResClass>(c));
+          p.nres[c] = sys.util.classResources(static_cast<hw::ResClass>(c));
+        }
+        g_stream.emitUtil(sys);
+        if (!a.perfetto.empty()) last_counters = utilCounters(sys.util);
+      };
+      p.latency_us = osu::latencyPoint(cfg, bytes);
+      p.iters = crit.attribute(marks);
+      for (const obs::CritPath::Iteration& it : p.iters) {
+        double sum = 0;
+        for (const double v : it.us) sum += v;
+        if (it.wall_us > 0 && std::abs(sum - it.wall_us) / it.wall_us > 0.01) sum_ok = false;
+      }
+      points.push_back(std::move(p));
+    }
+  }
+
+  const auto catUs = [](const obs::CritPath::Iteration& it, obs::CritCat c) {
+    return it.us[static_cast<std::size_t>(c)];
+  };
+
+  if (a.json) {
+    std::printf("{\"metric\":\"profile\",\"points\":[");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::printf("%s{\"stack\":\"%s\",\"size_bytes\":%zu,\"one_way_latency_us\":%.3f,"
+                  "\"spans_begun\":%llu,\"spans_retired\":%llu,\"open_hwm\":%llu,"
+                  "\"dropped_events\":%llu,\"windows\":%llu,\"util\":{",
+                  i == 0 ? "" : ",", p.stack, p.bytes, p.latency_us,
+                  static_cast<unsigned long long>(p.spans),
+                  static_cast<unsigned long long>(p.retired),
+                  static_cast<unsigned long long>(p.open_hwm),
+                  static_cast<unsigned long long>(p.dropped),
+                  static_cast<unsigned long long>(p.windows));
+      for (std::size_t c = 0; c < hw::kResClassCount; ++c) {
+        std::printf("%s\"%s\":{\"resources\":%u,\"busy_ns\":%llu}", c == 0 ? "" : ",",
+                    hw::name(static_cast<hw::ResClass>(c)), p.nres[c],
+                    static_cast<unsigned long long>(p.busy[c]));
+      }
+      std::printf("},\"iterations\":[");
+      for (std::size_t k = 0; k < p.iters.size(); ++k) {
+        const obs::CritPath::Iteration& it = p.iters[k];
+        double sum = 0;
+        for (const double v : it.us) sum += v;
+        std::printf("%s{\"wall_us\":%.3f", k == 0 ? "" : ",", it.wall_us);
+        for (std::size_t c = 0; c < obs::kCritCatCount; ++c) {
+          std::printf(",\"%s_us\":%.3f", obs::name(static_cast<obs::CritCat>(c)),
+                      it.us[c]);
+        }
+        std::printf(",\"sum_err_pct\":%.4f}",
+                    it.wall_us > 0 ? std::abs(sum - it.wall_us) / it.wall_us * 100.0 : 0.0);
+      }
+      std::printf("]}");
+    }
+    std::printf("],\"sum_ok\":%s}\n", sum_ok ? "true" : "false");
+  } else {
+    std::printf("stack,size_bytes,iter,wall_us,retry_us,post_delay_us,early_wait_us,"
+                "link_nic_us,link_nvlink_us,link_shm_us,host_meta_us,compute_us,"
+                "sum_err_pct,nvlink_busy_ns,xbus_busy_ns,nic_busy_ns,shm_busy_ns,"
+                "gpu_busy_ns\n");
+    for (const Point& p : points) {
+      for (std::size_t k = 0; k < p.iters.size(); ++k) {
+        const obs::CritPath::Iteration& it = p.iters[k];
+        double sum = 0;
+        for (const double v : it.us) sum += v;
+        std::printf(
+            "%s,%zu,%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%llu,%llu,%llu,"
+            "%llu,%llu\n",
+            p.stack, p.bytes, k, it.wall_us, catUs(it, obs::CritCat::Retry),
+            catUs(it, obs::CritCat::PostDelay), catUs(it, obs::CritCat::EarlyWait),
+            catUs(it, obs::CritCat::LinkNic), catUs(it, obs::CritCat::LinkNvLink),
+            catUs(it, obs::CritCat::LinkShm), catUs(it, obs::CritCat::HostMeta),
+            catUs(it, obs::CritCat::Compute),
+            it.wall_us > 0 ? std::abs(sum - it.wall_us) / it.wall_us * 100.0 : 0.0,
+            static_cast<unsigned long long>(p.busy[0]),
+            static_cast<unsigned long long>(p.busy[1]),
+            static_cast<unsigned long long>(p.busy[2]),
+            static_cast<unsigned long long>(p.busy[3]),
+            static_cast<unsigned long long>(p.busy[4]));
+      }
+    }
+  }
+
+  if (!a.perfetto.empty()) {
+    std::ofstream f(a.perfetto);
+    if (!f) {
+      std::fprintf(stderr, "profile: cannot open %s\n", a.perfetto.c_str());
+      return 1;
+    }
+    obs::SpanCollector empty;  // spans streamed out; the counter tracks carry the timeline
+    obs::writePerfetto(f, empty, nullptr, &last_counters);
+    std::fprintf(stderr, "profile: wrote Perfetto utilization trace to %s\n",
+                 a.perfetto.c_str());
+  }
+  if (!sum_ok) {
+    std::fprintf(stderr,
+                 "profile: ACCEPTANCE FAILURE — critical-path components do not sum to the "
+                 "iteration wall time within 1%%\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  if (!g_stream.open(a.stream_obs)) return 1;
   if (a.metric == "latency" || a.metric == "bandwidth") return runMicro(a);
   if (a.metric == "jacobi") return runJacobi(a);
   if (a.metric == "loss") return runLoss(a);
@@ -1058,5 +1433,6 @@ int main(int argc, char** argv) {
   if (a.metric == "coll") return runColl(a);
   if (a.metric == "train") return runTrainMetric(a);
   if (a.metric == "failstop") return runFailstop(a);
+  if (a.metric == "profile") return runProfile(a);
   usage(argv[0]);
 }
